@@ -1,0 +1,95 @@
+"""Shared machinery for the design-choice ablation benches.
+
+Each ablation compares the full COLAB scheduler against a variant with one
+mechanism removed or substituted, over a probe set of mixes chosen to
+cover the five workload classes and both low and high thread counts.
+Results are reported as COLAB-vs-Linux H_ANTT ratios (< 1 is better), so
+"full minus variant" is the contribution of the ablated mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.metrics.turnaround import geomean, h_antt
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads.mixes import MIXES
+from repro.workloads.programs import ProgramEnv
+
+#: Probe points spanning the workload classes and thread regimes.
+PROBE = (
+    ("Sync-2", "2B2S"),
+    ("Sync-4", "2B2S"),
+    ("NSync-2", "4B2S"),
+    ("Comm-2", "2B4S"),
+    ("Comp-4", "2B2S"),
+    ("Rand-3", "2B2S"),
+    ("Rand-5", "4B4S"),
+)
+
+
+def evaluate_variant(
+    ctx: ExperimentContext,
+    scheduler_factory: Callable[[], object],
+    probe=PROBE,
+) -> dict[tuple[str, str], float]:
+    """H_ANTT of a custom scheduler on every probe point (order-averaged)."""
+    out: dict[tuple[str, str], float] = {}
+    for mix_index, config in probe:
+        mix = MIXES[mix_index]
+        per_order = []
+        for big_first in (True, False):
+            machine = Machine(
+                ctx.topology(config, big_first),
+                scheduler_factory(),
+                MachineConfig(seed=ctx.seed),
+            )
+            env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
+            for instance in mix.instantiate(env):
+                machine.add_program(instance)
+            result = machine.run()
+            per_order.append(
+                {
+                    result.app_names[a]: v
+                    for a, v in result.app_turnaround.items()
+                }
+            )
+        averaged = {
+            app: (per_order[0][app] + per_order[1][app]) / 2
+            for app in per_order[0]
+        }
+        baselines = ctx.baselines_for(mix, config)
+        out[(mix_index, config)] = h_antt(averaged, baselines)
+    return out
+
+
+def ablation_table(
+    ctx: ExperimentContext,
+    variants: dict[str, Callable[[], object]],
+    probe=PROBE,
+) -> tuple[str, dict[str, float]]:
+    """Evaluate all variants; render a table of Linux-normalised H_ANTT.
+
+    Returns the rendered table and each variant's geomean ratio.
+    """
+    from repro.experiments.runner import evaluate_mix
+
+    linux = {
+        (mix, config): evaluate_mix(ctx, mix, config, "linux").h_antt
+        for mix, config in probe
+    }
+    rows = []
+    geomeans: dict[str, float] = {}
+    for name, factory in variants.items():
+        values = evaluate_variant(ctx, factory, probe)
+        ratios = [values[key] / linux[key] for key in probe]
+        geomeans[name] = geomean(ratios)
+        rows.append(
+            [name]
+            + [f"{ratio:.3f}" for ratio in ratios]
+            + [f"{geomeans[name]:.3f}"]
+        )
+    headers = ["variant"] + [f"{m}/{c}" for m, c in probe] + ["geomean"]
+    return format_table(headers, rows), geomeans

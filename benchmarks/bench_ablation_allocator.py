@@ -1,0 +1,34 @@
+"""Ablation: coordinated labels vs mixed greedy ranking.
+
+Disabling label-aware selection makes COLAB's thread selector pure
+max-blocking everywhere -- big cores no longer focus on high-speedup
+bottlenecks and little cores no longer avoid them, which is precisely the
+"simple combination" coordination failure the paper's motivating example
+attributes to WASH-style mixed rankings.
+"""
+
+from benchmarks.ablation_common import ablation_table
+from benchmarks.conftest import emit
+from repro.core.colab import COLABScheduler
+from repro.core.selector import BiasedGlobalSelector
+
+
+def test_ablation_label_coordination(benchmark, ctx):
+    estimator = ctx.get_estimator()
+    variants = {
+        "colab (label-aware)": lambda: COLABScheduler(estimator=estimator),
+        "colab (label-blind)": lambda: COLABScheduler(
+            estimator=estimator,
+            selector=BiasedGlobalSelector(label_aware=False),
+        ),
+    }
+    table, geomeans = benchmark.pedantic(
+        lambda: ablation_table(ctx, variants), rounds=1, iterations=1
+    )
+    emit(
+        benchmark,
+        "Ablation: label-aware selection (H_ANTT vs Linux, lower is better)\n"
+        + table,
+        **{k.replace(" ", "_"): round(v, 4) for k, v in geomeans.items()},
+    )
+    assert all(0.5 < g < 1.5 for g in geomeans.values())

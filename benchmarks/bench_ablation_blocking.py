@@ -1,0 +1,35 @@
+"""Ablation: blocking metric -- windowed EMA vs lifetime caused-wait.
+
+COLAB smooths the futex caused-wait signal over 10 ms windows so that
+criticality tracks the *current* phase.  The ablated variant ranks threads
+by lifetime cumulative caused-wait instead, which over-weights threads
+that were bottlenecks early (e.g. pipeline warm-up) long after they have
+stopped blocking anyone.
+"""
+
+from benchmarks.ablation_common import ablation_table
+from benchmarks.conftest import emit
+from repro.core.colab import COLABScheduler
+from repro.core.selector import BiasedGlobalSelector
+
+
+def test_ablation_blocking_metric(benchmark, ctx):
+    estimator = ctx.get_estimator()
+    variants = {
+        "colab (windowed EMA)": lambda: COLABScheduler(estimator=estimator),
+        "colab (lifetime total)": lambda: COLABScheduler(
+            estimator=estimator,
+            selector=BiasedGlobalSelector(
+                criticality=lambda t: t.caused_wait_time
+            ),
+        ),
+    }
+    table, geomeans = benchmark.pedantic(
+        lambda: ablation_table(ctx, variants), rounds=1, iterations=1
+    )
+    emit(
+        benchmark,
+        "Ablation: blocking metric (H_ANTT vs Linux, lower is better)\n" + table,
+        **{k.replace(" ", "_"): round(v, 4) for k, v in geomeans.items()},
+    )
+    assert all(0.5 < g < 1.5 for g in geomeans.values())

@@ -1,0 +1,35 @@
+"""Ablation: speedup-model quality -- learned vs oracle vs noisy oracle.
+
+Quantifies how much COLAB's gains depend on prediction accuracy: the
+trained Table 2 model (the paper-faithful configuration) is compared with
+a perfect oracle and with a heavily noisy oracle (sigma = 0.5 on a
+1.0-2.9 speedup range, i.e. labels frequently wrong).
+"""
+
+from benchmarks.ablation_common import ablation_table
+from benchmarks.conftest import emit
+from repro.core.colab import COLABScheduler
+from repro.model.speedup import OracleSpeedupModel
+
+
+def test_ablation_model_quality(benchmark, ctx):
+    learned = ctx.get_estimator()
+    variants = {
+        "colab (learned model)": lambda: COLABScheduler(estimator=learned),
+        "colab (oracle)": lambda: COLABScheduler(
+            estimator=OracleSpeedupModel(seed=1)
+        ),
+        "colab (noisy oracle 0.5)": lambda: COLABScheduler(
+            estimator=OracleSpeedupModel(noise_std=0.5, seed=1)
+        ),
+    }
+    table, geomeans = benchmark.pedantic(
+        lambda: ablation_table(ctx, variants), rounds=1, iterations=1
+    )
+    emit(
+        benchmark,
+        "Ablation: speedup-model quality (H_ANTT vs Linux, lower is better)\n"
+        + table,
+        **{k.replace(" ", "_").replace(".", "_"): round(v, 4) for k, v in geomeans.items()},
+    )
+    assert all(0.5 < g < 1.5 for g in geomeans.values())

@@ -1,0 +1,80 @@
+"""Ablation: sensitivity to scheduling-cost parameters (paper §4.2).
+
+The paper argues COLAB's management overhead (counter reads, labeling,
+more frequent migrations) is small, but concedes that on thread-overloaded
+systems the extra migrations hurt.  This bench scans the simulator's
+context-switch and migration costs from zero to 4x the defaults on one
+low-thread and one high-thread mix: COLAB's improvement over Linux should
+be robust on the former and erode with cost on the latter.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.report import format_table
+from repro.metrics.turnaround import h_antt
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads.mixes import MIXES
+from repro.workloads.programs import ProgramEnv
+
+#: (context-switch ms, migration ms) scans: zero, default, heavy.
+COST_POINTS = ((0.0, 0.0), (0.005, 0.08), (0.02, 0.32))
+PROBE = (("Comm-1", "2B2S"), ("Rand-9", "2B4S"))
+
+
+def run_point(ctx, mix_index, config, scheduler, cs_cost, mig_cost):
+    mix = MIXES[mix_index]
+    per_order = []
+    for big_first in (True, False):
+        machine = Machine(
+            ctx.topology(config, big_first),
+            ctx.make_scheduler(scheduler),
+            MachineConfig(
+                seed=ctx.seed,
+                context_switch_cost=cs_cost,
+                migration_cost=mig_cost,
+            ),
+        )
+        env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
+        for instance in mix.instantiate(env):
+            machine.add_program(instance)
+        result = machine.run()
+        per_order.append(
+            {result.app_names[a]: v for a, v in result.app_turnaround.items()}
+        )
+    averaged = {
+        app: (per_order[0][app] + per_order[1][app]) / 2 for app in per_order[0]
+    }
+    return h_antt(averaged, ctx.baselines_for(mix, config))
+
+
+def scan(ctx):
+    rows = []
+    ratios = {}
+    for mix_index, config in PROBE:
+        for cs_cost, mig_cost in COST_POINTS:
+            linux = run_point(ctx, mix_index, config, "linux", cs_cost, mig_cost)
+            colab = run_point(ctx, mix_index, config, "colab", cs_cost, mig_cost)
+            ratio = colab / linux
+            ratios[(mix_index, cs_cost)] = ratio
+            rows.append(
+                [
+                    f"{mix_index}/{config}",
+                    f"{cs_cost:.3f}",
+                    f"{mig_cost:.2f}",
+                    f"{ratio:.3f}",
+                ]
+            )
+    table = format_table(
+        ["point", "cs cost ms", "mig cost ms", "colab/linux H_ANTT"], rows
+    )
+    return table, ratios
+
+
+def test_ablation_scheduling_overhead(benchmark, ctx):
+    table, ratios = benchmark.pedantic(lambda: scan(ctx), rounds=1, iterations=1)
+    emit(
+        benchmark,
+        "Ablation: scheduling-cost sensitivity (lower is better)\n" + table,
+    )
+    # The low-thread mix keeps COLAB's advantage at every cost point.
+    low_thread = [v for (mix, _cs), v in ratios.items() if mix == "Comm-1"]
+    assert all(v < 1.05 for v in low_thread), low_thread

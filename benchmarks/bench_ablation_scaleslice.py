@@ -1,0 +1,32 @@
+"""Ablation: speedup-scaled slices on vs off (the fairness factor).
+
+With scale-slice disabled COLAB charges wall-clock virtual time like CFS:
+threads get equal *time* instead of equal *progress*, and big-core slices
+are no longer shortened.  The paper attributes COLAB's multi-application
+fairness to this mechanism (Section 3.2, "scaled time slice approach").
+"""
+
+from benchmarks.ablation_common import ablation_table
+from benchmarks.conftest import emit
+from repro.core.colab import COLABScheduler
+
+
+def test_ablation_scale_slice(benchmark, ctx):
+    estimator = ctx.get_estimator()
+    variants = {
+        "colab (scale-slice on)": lambda: COLABScheduler(estimator=estimator),
+        "colab (scale-slice off)": lambda: COLABScheduler(
+            estimator=estimator, scale_slice=False
+        ),
+    }
+    table, geomeans = benchmark.pedantic(
+        lambda: ablation_table(ctx, variants), rounds=1, iterations=1
+    )
+    emit(
+        benchmark,
+        "Ablation: speedup-scaled slices (H_ANTT vs Linux, lower is better)\n"
+        + table,
+        **{k.replace(" ", "_"): round(v, 4) for k, v in geomeans.items()},
+    )
+    # Both variants must remain functional schedulers.
+    assert all(0.5 < g < 1.5 for g in geomeans.values())

@@ -1,0 +1,88 @@
+"""Extension: DVFS governors under the COLAB scheduler.
+
+Sweeps the three cpufreq-style governor policies over a small mix probe
+and reports the turnaround/energy frontier: performance and ondemand
+should be near-identical on busy systems (ondemand races to max), while
+powersave trades a large slowdown for cubic active-power savings.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.report import format_table
+from repro.metrics.turnaround import geomean
+from repro.sim.dvfs import (
+    DVFSPolicy,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    energy_of_dvfs,
+)
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.topology import standard_topologies
+from repro.workloads.mixes import MIXES
+from repro.workloads.programs import ProgramEnv
+
+PROBE = (("Comm-1", "2B2S"), ("Comp-1", "2B2S"), ("Rand-5", "2B4S"))
+
+POLICIES = {
+    "performance": lambda: DVFSPolicy(
+        big_governor=PerformanceGovernor(),
+        little_governor=PerformanceGovernor(),
+    ),
+    "ondemand": lambda: DVFSPolicy(
+        big_governor=OndemandGovernor(up_threshold=0.7),
+        little_governor=OndemandGovernor(up_threshold=0.7),
+    ),
+    "powersave": lambda: DVFSPolicy(
+        big_governor=PowersaveGovernor(),
+        little_governor=PowersaveGovernor(),
+    ),
+}
+
+
+def sweep(ctx):
+    rows = []
+    makespans = {name: [] for name in POLICIES}
+    energies = {name: [] for name in POLICIES}
+    for mix_index, config in PROBE:
+        topology = standard_topologies()[config]
+        for policy_name, policy_factory in POLICIES.items():
+            machine = Machine(
+                topology,
+                ctx.make_scheduler("colab"),
+                MachineConfig(seed=ctx.seed, dvfs=policy_factory()),
+            )
+            env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
+            for instance in MIXES[mix_index].instantiate(env):
+                machine.add_program(instance)
+            result = machine.run()
+            energy = energy_of_dvfs(result, topology)
+            makespans[policy_name].append(result.makespan)
+            energies[policy_name].append(energy)
+            rows.append(
+                [
+                    f"{mix_index}/{config}",
+                    policy_name,
+                    f"{result.makespan:.0f}",
+                    f"{energy:.3f}",
+                ]
+            )
+    table = format_table(["point", "governor", "makespan ms", "energy J"], rows)
+    return table, makespans, energies
+
+
+def test_extension_dvfs_governors(benchmark, ctx):
+    table, makespans, energies = benchmark.pedantic(
+        lambda: sweep(ctx), rounds=1, iterations=1
+    )
+    geo_time = {name: geomean(values) for name, values in makespans.items()}
+    geo_energy = {name: geomean(values) for name, values in energies.items()}
+    emit(
+        benchmark,
+        "Extension: DVFS governors under COLAB\n" + table,
+        **{f"time_{k}": round(v, 1) for k, v in geo_time.items()},
+        **{f"energy_{k}": round(v, 3) for k, v in geo_energy.items()},
+    )
+    # The energy/performance frontier orders as expected.
+    assert geo_time["powersave"] > geo_time["performance"] * 1.5
+    assert geo_energy["powersave"] < geo_energy["performance"]
+    assert geo_time["ondemand"] < geo_time["powersave"]

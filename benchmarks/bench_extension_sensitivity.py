@@ -1,0 +1,30 @@
+"""Extension: seed robustness of the headline COLAB improvement.
+
+Runs the class-spanning probe under several master seeds with the trained
+speedup model and reports mean +- std of COLAB's turnaround improvement.
+A reproduction whose sign flips between seeds would be noise; this bench
+asserts the improvement over Linux is consistently positive.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, emit
+from repro.experiments.sensitivity import seed_sensitivity
+
+
+def test_extension_seed_sensitivity(benchmark, ctx):
+    report = benchmark.pedantic(
+        lambda: seed_sensitivity(
+            seeds=[11, 42, 97], work_scale=BENCH_SCALE,
+            estimator=ctx.get_estimator(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        benchmark,
+        report.render(),
+        mean_vs_linux=round(report.mean_vs_linux, 4),
+        std_vs_linux=round(report.std_vs_linux, 4),
+        mean_vs_wash=round(report.mean_vs_wash, 4),
+    )
+    # The improvement over Linux is positive for every probed seed.
+    assert all(v > 0 for v in report.colab_vs_linux), report.colab_vs_linux

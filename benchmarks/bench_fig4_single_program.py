@@ -1,0 +1,37 @@
+"""Figure 4: single-program workloads on the 2-big 2-little configuration.
+
+Reproduces the H_NTT bars for the twelve benchmarks under Linux CFS, WASH
+and COLAB, plus the geomean.  Expected shape (paper): the AMP-aware
+schedulers beat Linux by ~12% on average, COLAB wins big on the pipeline
+benchmark ferret, WASH wins the swaptions corner case (core-insensitive
+bottleneck + core-sensitive workers), and the self-balancing task-queue
+benchmarks (bodytrack, freqmine) show little difference.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.single_program import figure4
+from repro.metrics.turnaround import geomean
+
+
+def test_fig4_single_program(benchmark, ctx):
+    results, figure = benchmark.pedantic(
+        lambda: figure4(ctx), rounds=1, iterations=1
+    )
+    geo = {
+        scheduler: geomean([r.h_ntt[scheduler] for r in results])
+        for scheduler in ("linux", "wash", "colab")
+    }
+    emit(
+        benchmark,
+        figure.render(),
+        geomean_linux=round(geo["linux"], 3),
+        geomean_wash=round(geo["wash"], 3),
+        geomean_colab=round(geo["colab"], 3),
+    )
+    # Shape assertions: COLAB leads on average and on ferret; WASH takes
+    # the swaptions corner, as in the paper.
+    assert geo["colab"] < geo["linux"]
+    ferret = next(r for r in results if r.benchmark == "ferret")
+    assert ferret.h_ntt["colab"] < ferret.h_ntt["linux"]
+    swaptions = next(r for r in results if r.benchmark == "swaptions")
+    assert swaptions.h_ntt["wash"] < swaptions.h_ntt["linux"]

@@ -1,0 +1,26 @@
+"""Figure 5: synchronization-intensive vs non-intensive workloads.
+
+H_ANTT and H_STP of WASH and COLAB normalised to Linux CFS over the
+Sync-1..4 and NSync-1..4 mixes on all four configurations.  Expected shape
+(paper): COLAB gains most on the Sync class -- many bottleneck threads to
+distribute -- especially with few big cores (2B2S), while the N_Sync class
+offers fewer opportunities.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.multi_program import figure5, group_point
+from repro.experiments.report import render_figures
+
+
+def test_fig5_sync_vs_nsync(benchmark, ctx):
+    panels = benchmark.pedantic(lambda: figure5(ctx), rounds=1, iterations=1)
+    sync_colab = group_point(ctx, "sync", "2B2S", "colab")
+    emit(
+        benchmark,
+        render_figures(panels),
+        sync_2b2s_colab_antt=round(sync_colab.antt_ratio, 3),
+    )
+    antt = panels[0]
+    # COLAB improves on Linux for the sync class overall (geomean < 1).
+    assert antt.series["colab"][-2] < 1.0  # sync geomean column
+    assert antt.series["colab"][-1] < 1.0  # nsync geomean column

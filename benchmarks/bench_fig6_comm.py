@@ -1,0 +1,19 @@
+"""Figure 6: communication-intensive vs computation-intensive workloads.
+
+Expected shape (paper): both AMP-aware schedulers improve on Linux for the
+Comm class; COLAB leads the Comp class by distributing the few bottlenecks
+over both clusters.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.multi_program import figure6
+from repro.experiments.report import render_figures
+
+
+def test_fig6_comm_vs_comp(benchmark, ctx):
+    panels = benchmark.pedantic(lambda: figure6(ctx), rounds=1, iterations=1)
+    emit(benchmark, render_figures(panels))
+    antt, stp = panels
+    # COLAB improves turnaround and throughput on the Comp class (geomean).
+    assert antt.series["colab"][-1] < 1.0
+    assert stp.series["colab"][-1] > 1.0

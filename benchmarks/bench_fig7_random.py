@@ -1,0 +1,17 @@
+"""Figure 7: the ten random-mixed multi-programmed workloads.
+
+Expected shape (paper): diverse programs mean more bottlenecks and more
+acceleration potential; both AMP-aware schedulers beat Linux on average.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.multi_program import figure7
+from repro.experiments.report import render_figures
+
+
+def test_fig7_random_mix(benchmark, ctx):
+    panels = benchmark.pedantic(lambda: figure7(ctx), rounds=1, iterations=1)
+    emit(benchmark, render_figures(panels))
+    antt, stp = panels
+    assert antt.series["wash"][-1] < 1.0
+    assert stp.series["colab"][-1] > 0.95

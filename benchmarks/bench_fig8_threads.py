@@ -1,0 +1,24 @@
+"""Figure 8: low vs high application thread counts.
+
+Expected shape (paper): with few threads (fitting the cores) the AMP-aware
+schedulers shine and COLAB leads by also using little cores for
+bottlenecks; with heavy oversubscription (16+ threads) run queues are long
+everywhere, management overhead dominates, and neither AMP scheduler
+improves much on Linux -- WASH edges out COLAB, which migrates more.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.multi_program import figure8
+from repro.experiments.report import render_figures
+
+
+def test_fig8_thread_count(benchmark, ctx):
+    panels = benchmark.pedantic(lambda: figure8(ctx), rounds=1, iterations=1)
+    emit(benchmark, render_figures(panels))
+    antt = panels[0]
+    low_geo = antt.series["colab"][-2]
+    high_geo = antt.series["colab"][-1]
+    # COLAB clearly improves thread-low mixes and degrades toward parity
+    # (or worse) on thread-high mixes -- the paper's crossover.
+    assert low_geo < 0.97
+    assert high_geo > low_geo

@@ -1,0 +1,19 @@
+"""Figure 9: 2-programmed vs 4-programmed workloads.
+
+Expected shape (paper): both AMP-aware schedulers improve over Linux on
+2-program mixes; with 4 programs the pressure rises and the margins
+shrink, with COLAB holding up better than WASH thanks to distributing
+bottlenecks from all programs across both clusters.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.multi_program import figure9
+from repro.experiments.report import render_figures
+
+
+def test_fig9_program_count(benchmark, ctx):
+    panels = benchmark.pedantic(lambda: figure9(ctx), rounds=1, iterations=1)
+    emit(benchmark, render_figures(panels))
+    antt = panels[0]
+    two_geo = antt.series["colab"][-2]
+    assert two_geo < 1.0

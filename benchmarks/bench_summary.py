@@ -1,0 +1,30 @@
+"""The 312-experiment summary (Section 5.3, closing paragraph).
+
+Paper: "from all 312 experiments, COLAB improves turnaround time and
+system throughput by 11% and 15% compared to Linux and by 5% and 6%
+compared to WASH."  This bench aggregates the same 26 mixes x 4
+configurations x 3 schedulers sweep on the simulator substrate.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.multi_program import summary
+
+
+def test_summary_312_experiments(benchmark, ctx):
+    result = benchmark.pedantic(lambda: summary(ctx), rounds=1, iterations=1)
+    emit(
+        benchmark,
+        result.render(),
+        colab_vs_linux_turnaround=round(result.colab_vs_linux_tat, 4),
+        colab_vs_linux_throughput=round(result.colab_vs_linux_stp, 4),
+        colab_vs_wash_turnaround=round(result.colab_vs_wash_tat, 4),
+        wash_vs_linux_turnaround=round(result.wash_vs_linux_tat, 4),
+    )
+    assert result.n_experiments == 312
+    # Shape: both AMP-aware schedulers beat Linux on average; COLAB's
+    # best case is a large (>20%) turnaround win, as in the paper's
+    # "up to 25%".
+    assert result.colab_vs_linux_tat > 0.02
+    assert result.wash_vs_linux_tat > 0.02
+    assert result.colab_vs_linux_stp > 0.02
+    assert result.colab_vs_linux_tat_best > 0.20

@@ -1,0 +1,15 @@
+"""Table 1: qualitative related-work matrix (static regeneration)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.tables import TABLE1_ROWS, table1_related_work
+
+
+def test_table1_related_work(benchmark):
+    text = benchmark.pedantic(table1_related_work, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        text,
+        n_approaches=len(TABLE1_ROWS),
+        collaborative=[row[0] for row in TABLE1_ROWS if row[4]],
+    )
+    assert "COLAB" in text

@@ -1,0 +1,27 @@
+"""Table 3: benchmark categorisation, measured from the workload models."""
+
+from benchmarks.conftest import emit
+from repro.experiments.tables import characterize_benchmark, table3_categorization
+from repro.workloads.benchmarks import BENCHMARKS
+
+
+def test_table3_categorization(benchmark):
+    characterisations = benchmark.pedantic(
+        lambda: [characterize_benchmark(name) for name in BENCHMARKS],
+        rounds=1,
+        iterations=1,
+    )
+    matches_sync = sum(
+        ch.measured_sync_class == ch.paper_sync_class for ch in characterisations
+    )
+    matches_comm = sum(
+        ch.measured_comm_class == ch.paper_comm_class for ch in characterisations
+    )
+    emit(
+        benchmark,
+        table3_categorization(),
+        sync_matches=f"{matches_sync}/15",
+        comm_matches=f"{matches_comm}/15",
+    )
+    assert matches_sync >= 13
+    assert matches_comm >= 13

@@ -1,0 +1,14 @@
+"""Table 4: the 26 multi-programmed workload compositions."""
+
+from benchmarks.conftest import emit
+from repro.experiments.tables import table4_workloads
+from repro.workloads.mixes import MIXES, PAPER_THREAD_COUNTS
+
+
+def test_table4_workloads(benchmark):
+    text = benchmark.pedantic(table4_workloads, rounds=1, iterations=1)
+    emit(benchmark, text, n_mixes=len(MIXES))
+    assert all(
+        MIXES[index].total_threads == total
+        for index, total in PAPER_THREAD_COUNTS.items()
+    )

@@ -1,0 +1,34 @@
+"""Shared fixtures for the table/figure regeneration benches.
+
+Every bench runs the *real* experiment pipeline (trained speedup model,
+order-averaged runs, the paper's metrics) at a reduced work scale so the
+whole harness completes in minutes.  Set ``REPRO_BENCH_SCALE=1.0`` for
+reference-scale runs.  The printed tables are the reproduced figures; run
+with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+#: Default work scale of the bench harness (structure-preserving shrink).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """One shared context: results cache across benches within a session."""
+    return ExperimentContext(seed=BENCH_SEED, work_scale=BENCH_SCALE)
+
+
+def emit(benchmark, text: str, **extra: object) -> None:
+    """Print a reproduced table/figure and attach key numbers to the bench."""
+    print()
+    print(text)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

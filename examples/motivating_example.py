@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 1 motivating example.
+
+Three applications on one big + one little core: α (high-speedup thread
+α1 blocks α2), β (core-insensitive β1 blocks β2), γ (single high-speedup
+thread).  The coordinated scheduler should run γ and α1 on the big core
+while β1 runs immediately on the little core -- losing raw speed on β1
+but never making it wait.
+
+Run with::
+
+    python examples/motivating_example.py
+"""
+
+from __future__ import annotations
+
+from repro import make_scheduler
+from repro.experiments.motivating import run_motivating_example
+
+
+def main() -> None:
+    print("Figure 1 workload on 1 big + 1 little core\n")
+    print(f"{'scheduler':<10} {'alpha':>8} {'beta':>8} {'gamma':>8} {'avg':>8}")
+    outcomes = {}
+    for name in ("linux", "wash", "colab"):
+        outcome = run_motivating_example(make_scheduler(name))
+        outcomes[name] = outcome
+        print(
+            f"{name:<10} {outcome.alpha:>7.0f}ms {outcome.beta:>7.0f}ms "
+            f"{outcome.gamma:>7.0f}ms {outcome.average:>7.0f}ms"
+        )
+    gain = 1 - outcomes["colab"].average / outcomes["wash"].average
+    print(
+        f"\nCOLAB's coordinated core allocation + thread selection beats the "
+        f"affinity-only mixed heuristic by {gain:+.1%} on average turnaround."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run one PARSEC benchmark model under the COLAB scheduler.
+
+Simulates the `ferret` pipeline (the paper's headline single-program win)
+on a 2-big 2-little machine under each of the three schedulers and prints
+turnaround times plus the H_NTT metric against the isolated big-only
+baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Machine,
+    MachineConfig,
+    ProgramEnv,
+    big_only_equivalent,
+    h_ntt,
+    instantiate_benchmark,
+    make_scheduler,
+    make_topology,
+)
+
+BENCHMARK = "ferret"
+THREADS = 8
+SEED = 42
+
+
+def run_once(topology, scheduler_name: str) -> float:
+    """Turnaround of the benchmark alone on ``topology``."""
+    machine = Machine(
+        topology, make_scheduler(scheduler_name), MachineConfig(seed=SEED)
+    )
+    env = ProgramEnv.for_machine(machine)
+    machine.add_program(
+        instantiate_benchmark(BENCHMARK, env, app_id=0, n_threads=THREADS)
+    )
+    return machine.run().makespan
+
+
+def main() -> None:
+    topology = make_topology(2, 2)
+    baseline = run_once(big_only_equivalent(topology), "linux")
+    print(f"{BENCHMARK} with {THREADS} threads on {topology}")
+    print(f"isolated baseline on {topology.n_cores} big cores: {baseline:.1f} ms\n")
+    print(f"{'scheduler':<10} {'turnaround':>12} {'H_NTT':>8}")
+    for name in ("linux", "wash", "colab"):
+        turnaround = run_once(topology, name)
+        print(f"{name:<10} {turnaround:>10.1f}ms {h_ntt(turnaround, baseline):>8.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Run the paper's Table 2 pipeline and inspect the learned speedup model.
+
+Executes the full offline procedure -- symmetric all-big / all-little
+training runs, 225-counter vectors, PCA counter selection, instruction
+normalisation, linear regression -- then spot-checks the resulting online
+model against ground truth for a compute-bound and a memory-bound thread.
+
+Run with::
+
+    python examples/train_speedup_model.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.tables import table2_speedup_model
+from repro.model.training import train_speedup_model
+from repro.sim.counters import MicroArchProfile, PerformanceCounters
+from repro.workloads.actions import Compute
+from repro.kernel.task import Task
+
+COMPUTE_BOUND = MicroArchProfile(
+    ilp=0.9, branchiness=0.5, store_pressure=0.6,
+    mem_bound=0.05, frontend_stall=0.1, quiesce=0.1,
+)
+MEMORY_BOUND = MicroArchProfile(
+    ilp=0.1, branchiness=0.25, store_pressure=0.1,
+    mem_bound=0.9, frontend_stall=0.5, quiesce=0.2,
+)
+
+
+def probe(model, profile: MicroArchProfile, label: str) -> None:
+    """Generate a counter window from ``profile`` and query the model."""
+    counters = PerformanceCounters(profile=profile, rng=np.random.default_rng(0))
+    counters.record_compute(work=10.0, cpu_time=10.0)
+    task = Task(label, 0, iter([Compute(1.0)]), profile)
+    predicted = model.estimate(task, counters.read_window())
+    print(
+        f"  {label:<14} ground truth {profile.speedup():.2f}x, "
+        f"model predicts {predicted:.2f}x"
+    )
+
+
+def main() -> None:
+    print("training the speedup model (all 15 benchmarks, 4 replicas)...\n")
+    model, report = train_speedup_model()
+    print(table2_speedup_model(report))
+    print("\nspot checks:")
+    probe(model, COMPUTE_BOUND, "compute-bound")
+    probe(model, MEMORY_BOUND, "memory-bound")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""COLAB reproduction: collaborative multi-factor scheduling for AMPs.
+
+A full-system Python reproduction of *Yu et al., "COLAB: A Collaborative
+Multi-factor Scheduler for Asymmetric Multicore Processors", CGO 2020*:
+a discrete-event big.LITTLE simulator, Linux-like kernel scheduling
+machinery, synthetic PARSEC/SPLASH-2 workload models, the three evaluated
+schedulers (Linux CFS, WASH, COLAB), the Table 2 speedup-model training
+pipeline, and an experiment harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import (
+        COLABScheduler, Machine, MachineConfig, ProgramEnv,
+        instantiate_benchmark, make_topology,
+    )
+
+    machine = Machine(make_topology(2, 2), COLABScheduler(), MachineConfig(seed=1))
+    env = ProgramEnv.for_machine(machine)
+    machine.add_program(instantiate_benchmark("ferret", env, app_id=0, n_threads=8))
+    result = machine.run()
+    print(result.makespan, result.app_turnaround)
+"""
+
+from repro.core.colab import COLABScheduler
+from repro.errors import (
+    ExperimentError,
+    KernelError,
+    ModelError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.kernel.task import Task, TaskState
+from repro.metrics.turnaround import geomean, h_antt, h_ntt, h_stp
+from repro.model.speedup import LearnedSpeedupModel, OracleSpeedupModel
+from repro.model.training import train_speedup_model
+from repro.schedulers import make_scheduler
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.gts import GTSScheduler
+from repro.schedulers.wash import WASHScheduler
+from repro.sim.energy import EnergyReport, PowerModel, energy_of
+from repro.sim.machine import Machine, MachineConfig, RunResult
+from repro.sim.topology import (
+    Topology,
+    big_only_equivalent,
+    make_topology,
+    standard_topologies,
+)
+from repro.workloads.benchmarks import BENCHMARKS, instantiate_benchmark
+from repro.workloads.generator import generate_campaign, generate_mix
+from repro.workloads.mixes import MIXES, WorkloadMix
+from repro.workloads.programs import ProgramEnv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "COLABScheduler",
+    "CFSScheduler",
+    "EnergyReport",
+    "ExperimentError",
+    "GTSScheduler",
+    "KernelError",
+    "LearnedSpeedupModel",
+    "MIXES",
+    "Machine",
+    "MachineConfig",
+    "ModelError",
+    "PowerModel",
+    "OracleSpeedupModel",
+    "ProgramEnv",
+    "ReproError",
+    "RunResult",
+    "SchedulerError",
+    "SimulationError",
+    "Task",
+    "TaskState",
+    "Topology",
+    "WASHScheduler",
+    "WorkloadError",
+    "WorkloadMix",
+    "big_only_equivalent",
+    "energy_of",
+    "generate_campaign",
+    "generate_mix",
+    "geomean",
+    "h_antt",
+    "h_ntt",
+    "h_stp",
+    "instantiate_benchmark",
+    "make_scheduler",
+    "make_topology",
+    "standard_topologies",
+    "train_speedup_model",
+    "__version__",
+]

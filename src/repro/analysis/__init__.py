@@ -1,0 +1,31 @@
+"""Post-run analysis utilities (extension).
+
+* :mod:`repro.analysis.fairness` -- per-application fairness measures
+  (Jain's index, maximum slowdown, slowdown spread) complementing the
+  H_ANTT/H_STP throughput-oriented metrics;
+* :mod:`repro.analysis.traces` -- dispatch-trace post-processing: per-core
+  occupancy rows (ASCII timelines), utilisation, and migration summaries;
+* :mod:`repro.analysis.export` -- JSON-serialisable views of run results
+  and experiment campaigns for external plotting.
+"""
+
+from repro.analysis.export import campaign_to_dict, result_to_dict
+from repro.analysis.fairness import (
+    jains_index,
+    max_slowdown,
+    slowdown_spread,
+    slowdowns,
+)
+from repro.analysis.traces import core_utilization, migration_summary, occupancy_rows
+
+__all__ = [
+    "campaign_to_dict",
+    "core_utilization",
+    "jains_index",
+    "max_slowdown",
+    "migration_summary",
+    "occupancy_rows",
+    "result_to_dict",
+    "slowdown_spread",
+    "slowdowns",
+]

@@ -1,0 +1,49 @@
+"""JSON-serialisable views of runs and experiment campaigns.
+
+Everything the text reports contain can also be exported as plain dicts
+(``json.dump``-ready) so external tooling can plot the reproduced figures
+without re-running simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.experiments.runner import MixMetrics
+from repro.sim.machine import RunResult
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Full per-run view: turnarounds, per-task stats, core occupancy."""
+    return {
+        "topology": result.topology_name,
+        "scheduler": result.scheduler_name,
+        "makespan_ms": result.makespan,
+        "apps": {
+            result.app_names.get(app_id, str(app_id)): turnaround
+            for app_id, turnaround in result.app_turnaround.items()
+        },
+        "context_switches": result.total_context_switches,
+        "migrations": result.total_migrations,
+        "core_busy_ms": dict(result.core_busy_time),
+        "tasks": [dataclasses.asdict(task) for task in result.tasks],
+    }
+
+
+def campaign_to_dict(points: Iterable[MixMetrics]) -> dict:
+    """Campaign view: one record per (mix, config, scheduler) point."""
+    records = []
+    for point in points:
+        records.append(
+            {
+                "mix": point.mix_index,
+                "config": point.config,
+                "scheduler": point.scheduler,
+                "h_antt": point.h_antt,
+                "h_stp": point.h_stp,
+                "makespan_ms": point.makespan,
+                "turnarounds_ms": dict(point.turnarounds),
+            }
+        )
+    return {"points": records, "count": len(records)}

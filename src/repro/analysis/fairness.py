@@ -1,0 +1,80 @@
+"""Per-application fairness measures.
+
+H_ANTT averages slowdowns; it cannot distinguish "every app 1.5x slower"
+from "one app 3x slower, the rest untouched".  The paper's fairness claim
+("decisions should not penalize any application disproportionately") is
+about the latter, so these helpers quantify the slowdown *distribution*:
+
+* :func:`jains_index` -- Jain's fairness index over per-app progress
+  rates, 1.0 = perfectly even, 1/n = maximally skewed;
+* :func:`max_slowdown` -- the worst-treated application;
+* :func:`slowdown_spread` -- max/min slowdown ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ExperimentError
+
+
+def slowdowns(
+    turnarounds: Mapping[str, float], baselines: Mapping[str, float]
+) -> dict[str, float]:
+    """Per-application slowdown (H_NTT) map.
+
+    Raises:
+        ExperimentError: on key mismatch or non-positive values.
+    """
+    if set(turnarounds) != set(baselines):
+        raise ExperimentError(
+            f"app sets differ: {sorted(turnarounds)} vs {sorted(baselines)}"
+        )
+    if not turnarounds:
+        raise ExperimentError("empty workload")
+    out = {}
+    for app in turnarounds:
+        if turnarounds[app] <= 0 or baselines[app] <= 0:
+            raise ExperimentError(f"non-positive time for {app!r}")
+        out[app] = turnarounds[app] / baselines[app]
+    return out
+
+
+def jains_index(values: list[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    Applied to per-application *progress rates* (1/slowdown) so that 1.0
+    means every application suffered equally from co-scheduling.
+    """
+    if not values:
+        raise ExperimentError("empty values")
+    if any(v <= 0 for v in values):
+        raise ExperimentError("values must be positive")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def fairness_index(
+    turnarounds: Mapping[str, float], baselines: Mapping[str, float]
+) -> float:
+    """Jain's index over per-app progress rates (1 = perfectly fair)."""
+    rates = [1.0 / s for s in slowdowns(turnarounds, baselines).values()]
+    return jains_index(rates)
+
+
+def max_slowdown(
+    turnarounds: Mapping[str, float], baselines: Mapping[str, float]
+) -> tuple[str, float]:
+    """The worst-treated application and its slowdown."""
+    per_app = slowdowns(turnarounds, baselines)
+    app = max(per_app, key=per_app.get)
+    return app, per_app[app]
+
+
+def slowdown_spread(
+    turnarounds: Mapping[str, float], baselines: Mapping[str, float]
+) -> float:
+    """Ratio of worst to best per-app slowdown (1.0 = perfectly even)."""
+    per_app = slowdowns(turnarounds, baselines)
+    return max(per_app.values()) / min(per_app.values())

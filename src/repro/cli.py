@@ -1,0 +1,189 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    colab-repro fig4                 # Figure 4 at reference scale
+    colab-repro fig5 --scale 0.4     # faster, same structure
+    colab-repro summary --oracle     # 312-run summary with oracle model
+    colab-repro tables               # Tables 1-4
+    colab-repro train                # Table 2 pipeline only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import multi_program, single_program, tables
+from repro.experiments.report import render_bars, render_figures
+from repro.experiments.runner import ExperimentContext
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        seed=args.seed,
+        work_scale=args.scale,
+        use_learned_model=not args.oracle,
+    )
+
+
+def _cmd_train(args: argparse.Namespace) -> None:
+    from repro.model.training import train_speedup_model
+
+    _model, report = train_speedup_model(seed=args.seed)
+    print(tables.table2_speedup_model(report))
+
+
+def _cmd_tables(args: argparse.Namespace) -> None:
+    from repro.model.training import default_training_report
+
+    ctx = _context(args)
+    print(tables.table1_related_work())
+    print()
+    print(tables.table2_speedup_model(default_training_report()))
+    print()
+    print(tables.table3_categorization(ctx))
+    print()
+    print(tables.table4_workloads())
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    _results, figure = single_program.figure4(_context(args))
+    if args.bars:
+        print(render_bars(figure, reference=None))
+    else:
+        print(figure.render())
+
+
+def _figure_command(builder):
+    def run(args: argparse.Namespace) -> None:
+        panels = builder(_context(args))
+        if args.bars:
+            print("\n\n".join(render_bars(panel) for panel in panels))
+        else:
+            print(render_figures(panels))
+
+    return run
+
+
+def _cmd_summary(args: argparse.Namespace) -> None:
+    result = multi_program.summary(_context(args))
+    print(result.render())
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    """Run one (mix, config, scheduler) point; optionally export JSON."""
+    import json
+
+    from repro.analysis.export import campaign_to_dict
+    from repro.analysis.fairness import fairness_index
+    from repro.experiments.runner import evaluate_mix
+    from repro.workloads.mixes import MIXES
+
+    ctx = _context(args)
+    points = []
+    for scheduler in args.schedulers.split(","):
+        metrics = evaluate_mix(ctx, args.mix, args.config, scheduler.strip())
+        points.append(metrics)
+        baselines = ctx.baselines_for(MIXES[args.mix], args.config)
+        fairness = fairness_index(metrics.turnarounds, baselines)
+        apps = "  ".join(
+            f"{app}={value:.0f}ms" for app, value in metrics.turnarounds.items()
+        )
+        print(
+            f"{metrics.scheduler:<8} H_ANTT={metrics.h_antt:.3f} "
+            f"H_STP={metrics.h_stp:.3f} fairness={fairness:.3f}  {apps}"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(campaign_to_dict(points), handle, indent=2)
+        print(f"\nwrote {args.json}")
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    ctx = _context(args)
+    start = time.time()
+    _results, fig4 = single_program.figure4(ctx)
+    print(fig4.render())
+    for builder in (
+        multi_program.figure5,
+        multi_program.figure6,
+        multi_program.figure7,
+        multi_program.figure8,
+        multi_program.figure9,
+    ):
+        print()
+        print(render_figures(builder(ctx)))
+    print()
+    print(multi_program.summary(ctx).render())
+    print(f"\n[elapsed: {time.time() - start:.1f}s]")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="colab-repro",
+        description="Regenerate tables/figures of the COLAB (CGO 2020) paper.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="uniform work scale (smaller = faster, same structure)",
+    )
+    parser.add_argument(
+        "--oracle",
+        action="store_true",
+        help="use the oracle speedup model instead of the trained one",
+    )
+    parser.add_argument(
+        "--bars",
+        action="store_true",
+        help="render figures as ASCII bar charts instead of tables",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("train", help="run the Table 2 training pipeline").set_defaults(
+        func=_cmd_train
+    )
+    sub.add_parser("tables", help="regenerate Tables 1-4").set_defaults(
+        func=_cmd_tables
+    )
+    sub.add_parser("fig4", help="Figure 4 (single-program)").set_defaults(
+        func=_cmd_fig4
+    )
+    for name, builder in (
+        ("fig5", multi_program.figure5),
+        ("fig6", multi_program.figure6),
+        ("fig7", multi_program.figure7),
+        ("fig8", multi_program.figure8),
+        ("fig9", multi_program.figure9),
+    ):
+        sub.add_parser(name, help=f"Figure {name[3:]}").set_defaults(
+            func=_figure_command(builder)
+        )
+    sub.add_parser("summary", help="312-experiment summary").set_defaults(
+        func=_cmd_summary
+    )
+    run = sub.add_parser("run", help="one (mix, config) evaluation point")
+    run.add_argument("--mix", default="Sync-2", help="Table 4 mix index")
+    run.add_argument("--config", default="2B2S", help="2B2S/2B4S/4B2S/4B4S")
+    run.add_argument(
+        "--schedulers",
+        default="linux,wash,colab",
+        help="comma-separated: linux/wash/colab/gts",
+    )
+    run.add_argument("--json", default=None, help="write results as JSON")
+    run.set_defaults(func=_cmd_run)
+    sub.add_parser("all", help="everything (long)").set_defaults(func=_cmd_all)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

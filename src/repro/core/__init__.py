@@ -1,0 +1,38 @@
+"""The paper's primary contribution: the COLAB scheduler.
+
+COLAB makes *coordinated* decisions through three collaborating heuristics,
+each primarily optimising one runtime factor:
+
+* the **multi-factor labeler** (:mod:`repro.core.labeler`) periodically
+  tags ready threads with core-allocation labels derived from predicted
+  speedup and blocking level;
+* the **hierarchical round-robin core allocator**
+  (:mod:`repro.core.allocator`) routes high-speedup threads to big-core
+  clusters, non-critical threads to little-core clusters, and balances the
+  rest over all cores -- core sensitivity plus relative load balance;
+* the **biased-global thread selector** (:mod:`repro.core.selector`)
+  always runs the most-blocking ready thread, locally first, and lets big
+  cores accelerate critical threads running on little cores -- bottleneck
+  acceleration;
+* **speedup-scaled slices** (:mod:`repro.core.preemption`) shorten big-core
+  time slices in proportion to predicted speedup so threads make equal
+  *progress* rather than receiving equal *time* -- fairness on AMPs.
+
+:class:`~repro.core.colab.COLABScheduler` composes the four pieces behind
+the standard :class:`~repro.schedulers.base.Scheduler` interface.
+"""
+
+from repro.core.allocator import HierarchicalRRAllocator
+from repro.core.colab import COLABScheduler
+from repro.core.labeler import LabelerConfig, MultiFactorLabeler
+from repro.core.preemption import ScaleSlicePolicy
+from repro.core.selector import BiasedGlobalSelector
+
+__all__ = [
+    "BiasedGlobalSelector",
+    "COLABScheduler",
+    "HierarchicalRRAllocator",
+    "LabelerConfig",
+    "MultiFactorLabeler",
+    "ScaleSlicePolicy",
+]

@@ -1,0 +1,74 @@
+"""The hierarchical round-robin core allocator (Algorithm 1, top half).
+
+::
+
+    _core_alloctor_(thread_struct t){
+        if t.high_speedup
+            return rr_allocator_(big_cores)
+        if t.low_speedup & t.low_block
+            return rr_allocator_(little_cores)
+        else return rr_allocator_(cores) }
+
+Threads labeled BIG are round-robin distributed over the big cluster,
+threads labeled LITTLE over the little cluster, and ANY threads over all
+cores.  The three independent round-robin cursors are the "hierarchical"
+part: each cluster fills evenly regardless of how the label populations
+are skewed, which is the paper's answer to load balancing on AMPs without
+constant migration to empty runqueues.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.kernel.task import CoreLabel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.task import Task
+    from repro.sim.core import Core
+
+
+class HierarchicalRRAllocator:
+    """Three round-robin cursors: big cluster, little cluster, all cores."""
+
+    def __init__(self, big_cores: list["Core"], little_cores: list["Core"]) -> None:
+        if not big_cores and not little_cores:
+            raise SchedulerError("allocator needs at least one core")
+        self.big_cores = list(big_cores)
+        self.little_cores = list(little_cores)
+        self.all_cores = sorted(
+            self.big_cores + self.little_cores, key=lambda c: c.core_id
+        )
+        self._cursors = {"big": 0, "little": 0, "all": 0}
+        #: Allocation counts per label value (diagnostics / tests).
+        self.allocations = {label: 0 for label in CoreLabel}
+
+    def _next_from(self, group_name: str, group: list["Core"]) -> "Core":
+        if not group:
+            raise SchedulerError(f"no cores in group {group_name!r}")
+        index = self._cursors[group_name] % len(group)
+        self._cursors[group_name] += 1
+        return group[index]
+
+    def cluster_for(self, task: "Task") -> list["Core"]:
+        """The core group ``task``'s current label routes it to."""
+        if task.core_label is CoreLabel.BIG and self.big_cores:
+            return self.big_cores
+        if task.core_label is CoreLabel.LITTLE and self.little_cores:
+            return self.little_cores
+        return self.all_cores
+
+    def allocate(self, task: "Task") -> "Core":
+        """Pick the runqueue core for ``task`` based on its current label.
+
+        Falls back to the all-cores cursor when the labeled cluster does
+        not exist on this machine (e.g. BIG label on a little-only training
+        machine).
+        """
+        self.allocations[task.core_label] += 1
+        if task.core_label is CoreLabel.BIG and self.big_cores:
+            return self._next_from("big", self.big_cores)
+        if task.core_label is CoreLabel.LITTLE and self.little_cores:
+            return self._next_from("little", self.little_cores)
+        return self._next_from("all", self.all_cores)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the COLAB reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate the failure domain (simulator, kernel
+machinery, workload construction, model fitting, experiment harness).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SimulationError(ReproError):
+    """An invariant of the discrete-event simulator was violated."""
+
+
+class SchedulerError(ReproError):
+    """A scheduling policy produced an illegal decision.
+
+    Examples: allocating a task to a core outside its affinity mask,
+    selecting a task that is not runnable, or double-enqueuing a task.
+    """
+
+
+class KernelError(ReproError):
+    """The Linux-like kernel substrate detected inconsistent state.
+
+    Examples: releasing a lock that is not held, waking a task that is not
+    sleeping, or corrupting runqueue bookkeeping.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload or benchmark model was constructed with invalid parameters."""
+
+
+class ModelError(ReproError):
+    """The speedup-prediction pipeline was misused or failed to fit.
+
+    Examples: predicting before training, or training on a degenerate
+    counter matrix.
+    """
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was given an unknown workload/config/scheduler."""

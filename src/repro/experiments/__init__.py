@@ -1,0 +1,25 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.runner` -- run one (workload, topology,
+  scheduler) combination, with core-order averaging and process-wide
+  caching;
+* :mod:`repro.experiments.single_program` -- Figure 4;
+* :mod:`repro.experiments.multi_program` -- Figures 5-9 and the 312-run
+  summary;
+* :mod:`repro.experiments.tables` -- Tables 1-4;
+* :mod:`repro.experiments.report` -- plain-text rendering of rows/series.
+"""
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    MixMetrics,
+    evaluate_mix,
+    run_mix_once,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "MixMetrics",
+    "evaluate_mix",
+    "run_mix_once",
+]

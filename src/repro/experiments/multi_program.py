@@ -1,0 +1,249 @@
+"""Figures 5-9 and the 312-experiment summary (multi-programmed workloads).
+
+Every figure shows H_ANTT (lower = better) and H_STP (higher = better)
+normalised to the Linux CFS result for the same configuration and
+workload, with bars per hardware configuration plus a cross-configuration
+geomean.  The figures differ only in how the 26 mixes are grouped:
+
+* Figure 5 -- synchronisation-intensive vs non-intensive classes;
+* Figure 6 -- communication- vs computation-intensive classes;
+* Figure 7 -- the ten random mixes;
+* Figure 8 -- thread-count grouping: "low" means the mix has at most as
+  many threads as the configuration has cores, "high" means at least
+  double the maximum core count (16+, given the largest config is 8
+  cores).  Low membership therefore depends on the configuration, exactly
+  as in the paper's definition;
+* Figure 9 -- 2-programmed vs 4-programmed mixes.
+
+The summary aggregates all 26 x 4 x 3 = 312 order-averaged experiments
+into the headline numbers of the abstract (11%/15% over Linux, 5%/6% over
+WASH in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.report import FigureSeries
+from repro.experiments.runner import (
+    CONFIGS,
+    SCHEDULERS,
+    ExperimentContext,
+    evaluate_mix,
+)
+from repro.metrics.turnaround import geomean
+from repro.sim.topology import standard_topologies
+from repro.workloads.mixes import MIXES, mixes_by_class
+
+#: Thread-high threshold: at least double the maximum core count (4B4S = 8).
+THREAD_HIGH_MIN = 16
+
+
+# ---------------------------------------------------------------------------
+# Grouping predicates
+# ---------------------------------------------------------------------------
+
+
+def mixes_for_group(group: str, config: str) -> list[str]:
+    """Mix indices belonging to ``group`` on ``config``.
+
+    Groups: the five classes ("sync", "nsync", "comm", "comp", "rand"),
+    thread-count groups ("thread-low", "thread-high"), and program-count
+    groups ("2-prog", "4-prog").
+    """
+    if group in ("sync", "nsync", "comm", "comp", "rand"):
+        return [m.index for m in mixes_by_class(group)]
+    if group == "thread-low":
+        n_cores = standard_topologies()[config].n_cores
+        return [m.index for m in MIXES.values() if m.total_threads <= n_cores]
+    if group == "thread-high":
+        return [
+            m.index for m in MIXES.values() if m.total_threads >= THREAD_HIGH_MIN
+        ]
+    if group == "2-prog":
+        return [m.index for m in MIXES.values() if m.n_programs == 2]
+    if group == "4-prog":
+        return [m.index for m in MIXES.values() if m.n_programs == 4]
+    raise ExperimentError(f"unknown group {group!r}")
+
+
+# ---------------------------------------------------------------------------
+# Normalised group metrics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GroupPoint:
+    """Normalised metrics of (group, config, scheduler) vs Linux."""
+
+    group: str
+    config: str
+    scheduler: str
+    antt_ratio: float  # H_ANTT(sched) / H_ANTT(linux); < 1 means faster
+    stp_ratio: float  # H_STP(sched) / H_STP(linux); > 1 means more throughput
+
+
+def group_point(
+    ctx: ExperimentContext, group: str, config: str, scheduler: str
+) -> GroupPoint:
+    """Geomean over the group's mixes of per-mix Linux-normalised ratios."""
+    indices = mixes_for_group(group, config)
+    if not indices:
+        raise ExperimentError(f"group {group!r} empty on {config}")
+    antt_ratios = []
+    stp_ratios = []
+    for index in indices:
+        linux = evaluate_mix(ctx, index, config, "linux")
+        current = evaluate_mix(ctx, index, config, scheduler)
+        antt_ratios.append(current.h_antt / linux.h_antt)
+        stp_ratios.append(current.h_stp / linux.h_stp)
+    return GroupPoint(
+        group=group,
+        config=config,
+        scheduler=scheduler,
+        antt_ratio=geomean(antt_ratios),
+        stp_ratio=geomean(stp_ratios),
+    )
+
+
+def grouped_figure(
+    ctx: ExperimentContext,
+    figure_name: str,
+    groups: list[str],
+    schedulers: tuple[str, ...] = ("wash", "colab"),
+) -> list[FigureSeries]:
+    """Build the H_ANTT and H_STP panels for a list of groups."""
+    x_labels = [
+        f"{group}/{config}" for group in groups for config in CONFIGS
+    ] + [f"{group}/geomean" for group in groups]
+    antt = FigureSeries(
+        title=f"{figure_name}: H_ANTT normalised to Linux",
+        x_labels=x_labels,
+        direction="lower is better",
+    )
+    stp = FigureSeries(
+        title=f"{figure_name}: H_STP normalised to Linux",
+        x_labels=x_labels,
+        direction="higher is better",
+    )
+    for scheduler in schedulers:
+        antt_values: list[float] = []
+        stp_values: list[float] = []
+        geomeans_antt: list[float] = []
+        geomeans_stp: list[float] = []
+        for group in groups:
+            per_config_antt = []
+            per_config_stp = []
+            for config in CONFIGS:
+                point = group_point(ctx, group, config, scheduler)
+                per_config_antt.append(point.antt_ratio)
+                per_config_stp.append(point.stp_ratio)
+            antt_values.extend(per_config_antt)
+            stp_values.extend(per_config_stp)
+            geomeans_antt.append(geomean(per_config_antt))
+            geomeans_stp.append(geomean(per_config_stp))
+        antt.add(scheduler, antt_values + geomeans_antt)
+        stp.add(scheduler, stp_values + geomeans_stp)
+    return [antt, stp]
+
+
+# ---------------------------------------------------------------------------
+# The five figures
+# ---------------------------------------------------------------------------
+
+
+def figure5(ctx: ExperimentContext) -> list[FigureSeries]:
+    """Sync-intensive vs non-intensive workloads."""
+    return grouped_figure(ctx, "Figure 5 (Sync vs N_Sync)", ["sync", "nsync"])
+
+
+def figure6(ctx: ExperimentContext) -> list[FigureSeries]:
+    """Communication- vs computation-intensive workloads."""
+    return grouped_figure(ctx, "Figure 6 (Comm vs Comp)", ["comm", "comp"])
+
+
+def figure7(ctx: ExperimentContext) -> list[FigureSeries]:
+    """The ten random-mixed workloads."""
+    return grouped_figure(ctx, "Figure 7 (Random-mix)", ["rand"])
+
+
+def figure8(ctx: ExperimentContext) -> list[FigureSeries]:
+    """Low vs high application thread counts."""
+    return grouped_figure(
+        ctx, "Figure 8 (Thread-low vs Thread-high)", ["thread-low", "thread-high"]
+    )
+
+
+def figure9(ctx: ExperimentContext) -> list[FigureSeries]:
+    """2-programmed vs 4-programmed workloads."""
+    return grouped_figure(ctx, "Figure 9 (2- vs 4-programmed)", ["2-prog", "4-prog"])
+
+
+# ---------------------------------------------------------------------------
+# Summary of all experiments (Section 5.3, closing paragraph)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Summary:
+    """Aggregate improvements over the full 312-experiment sweep."""
+
+    n_experiments: int
+    #: Mean turnaround improvement of COLAB vs Linux (paper: ~11%).
+    colab_vs_linux_tat: float
+    #: Mean throughput improvement of COLAB vs Linux (paper: ~15%).
+    colab_vs_linux_stp: float
+    #: Mean turnaround improvement of COLAB vs WASH (paper: ~5%).
+    colab_vs_wash_tat: float
+    #: Mean throughput improvement of COLAB vs WASH (paper: ~6%).
+    colab_vs_wash_stp: float
+    #: Mean turnaround improvement of WASH vs Linux.
+    wash_vs_linux_tat: float
+    #: Best-case COLAB turnaround improvements (paper: up to 25% / 21%).
+    colab_vs_linux_tat_best: float
+    colab_vs_wash_tat_best: float
+
+    def render(self) -> str:
+        def pct(value: float) -> str:
+            return f"{value:+.1%}"
+
+        rows = [
+            f"experiments (mix x config x scheduler): {self.n_experiments}",
+            "improvements (positive = better than the baseline scheduler):",
+            f"COLAB vs Linux: turnaround {pct(self.colab_vs_linux_tat)}, "
+            f"throughput {pct(self.colab_vs_linux_stp)} "
+            f"(best turnaround {pct(self.colab_vs_linux_tat_best)})",
+            f"COLAB vs WASH : turnaround {pct(self.colab_vs_wash_tat)}, "
+            f"throughput {pct(self.colab_vs_wash_stp)} "
+            f"(best turnaround {pct(self.colab_vs_wash_tat_best)})",
+            f"WASH  vs Linux: turnaround {pct(self.wash_vs_linux_tat)}",
+        ]
+        return "\n".join(rows)
+
+
+def summary(ctx: ExperimentContext) -> Summary:
+    """Aggregate every (mix, config) point into headline improvements."""
+    indices = list(MIXES)
+    ratios_cl, ratios_cw, ratios_wl = [], [], []
+    stp_cl, stp_cw = [], []
+    for index in indices:
+        for config in CONFIGS:
+            linux = evaluate_mix(ctx, index, config, "linux")
+            wash = evaluate_mix(ctx, index, config, "wash")
+            colab = evaluate_mix(ctx, index, config, "colab")
+            ratios_cl.append(colab.h_antt / linux.h_antt)
+            ratios_cw.append(colab.h_antt / wash.h_antt)
+            ratios_wl.append(wash.h_antt / linux.h_antt)
+            stp_cl.append(colab.h_stp / linux.h_stp)
+            stp_cw.append(colab.h_stp / wash.h_stp)
+    return Summary(
+        n_experiments=len(indices) * len(CONFIGS) * len(SCHEDULERS),
+        colab_vs_linux_tat=1.0 - geomean(ratios_cl),
+        colab_vs_linux_stp=geomean(stp_cl) - 1.0,
+        colab_vs_wash_tat=1.0 - geomean(ratios_cw),
+        colab_vs_wash_stp=geomean(stp_cw) - 1.0,
+        wash_vs_linux_tat=1.0 - geomean(ratios_wl),
+        colab_vs_linux_tat_best=1.0 - min(ratios_cl),
+        colab_vs_wash_tat_best=1.0 - min(ratios_cw),
+    )

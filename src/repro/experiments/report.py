@@ -1,0 +1,98 @@
+"""Plain-text rendering of figure series and tables.
+
+The paper's figures are bar charts; their information content is the
+per-bar values.  Every figure driver therefore produces
+:class:`FigureSeries` objects -- labelled (x, value) series -- and this
+module renders them as aligned text tables the benches print, which is
+what EXPERIMENTS.md quotes as "measured" next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    separator = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), separator] + [line(r) for r in rows])
+
+
+@dataclass
+class FigureSeries:
+    """One figure panel: named series over shared x labels."""
+
+    title: str
+    x_labels: list[str]
+    #: series name -> values aligned with ``x_labels``.
+    series: dict[str, list[float]] = field(default_factory=dict)
+    #: Note on direction ("lower is better" / "higher is better").
+    direction: str = ""
+
+    def add(self, name: str, values: list[float]) -> None:
+        if len(values) != len(self.x_labels):
+            raise ValueError(
+                f"series {name}: {len(values)} values for "
+                f"{len(self.x_labels)} x labels"
+            )
+        self.series[name] = list(values)
+
+    def render(self, fmt: str = "{:.3f}") -> str:
+        headers = ["series"] + self.x_labels
+        rows = [
+            [name] + [fmt.format(v) for v in values]
+            for name, values in self.series.items()
+        ]
+        suffix = f"  [{self.direction}]" if self.direction else ""
+        return f"{self.title}{suffix}\n" + format_table(headers, rows)
+
+
+def render_figures(figures: list[FigureSeries]) -> str:
+    """Concatenate multiple panels with blank-line separation."""
+    return "\n\n".join(figure.render() for figure in figures)
+
+
+def render_bars(
+    figure: FigureSeries, width: int = 40, reference: float | None = 1.0
+) -> str:
+    """ASCII bar-chart view of a figure panel.
+
+    Each (x, series) pair becomes one horizontal bar scaled to the panel's
+    maximum value; a ``reference`` line (the Linux-normalised 1.0 by
+    default) is marked with ``|`` so better/worse than baseline is visible
+    at a glance.
+
+    Args:
+        figure: The panel to render.
+        width: Character width of the longest bar.
+        reference: Value to mark, or None to omit the marker.
+    """
+    if not figure.series:
+        raise ValueError(f"figure {figure.title!r} has no series")
+    peak = max(max(values) for values in figure.series.values())
+    if reference is not None:
+        peak = max(peak, reference)
+    if peak <= 0:
+        raise ValueError("bar chart needs positive values")
+    label_width = max(
+        len(f"{x} {name}")
+        for x in figure.x_labels
+        for name in figure.series
+    )
+    marker = int(round(reference / peak * width)) if reference is not None else None
+    lines = [figure.title + (f"  [{figure.direction}]" if figure.direction else "")]
+    for i, x_label in enumerate(figure.x_labels):
+        for name, values in figure.series.items():
+            filled = int(round(values[i] / peak * width))
+            cells = ["#" if c < filled else " " for c in range(width + 1)]
+            if marker is not None and 0 <= marker <= width:
+                cells[marker] = "|" if cells[marker] == " " else "+"
+            label = f"{x_label} {name}".ljust(label_width)
+            lines.append(f"  {label} {''.join(cells)} {values[i]:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Core experiment runner with the paper's averaging methodology.
+
+One *evaluation point* is (mix, topology, scheduler).  Following Section
+5.1, every point is the average of two simulations that differ only in
+core enumeration order (big cores first vs little cores first), because
+initial round-robin placement -- and hence everything downstream -- depends
+on it.
+
+All runs share one :class:`ExperimentContext`, which carries the seed, the
+work scale, the trained speedup model (WASH and COLAB share it, as in the
+paper where both use the same performance-model machinery), the baseline
+cache, and a process-wide result cache so the figure drivers that regroup
+the same 26 x 4 x 3 sweep (Figures 8 and 9) do not re-simulate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.metrics.baselines import BaselineCache
+from repro.metrics.turnaround import h_antt, h_stp
+from repro.model.speedup import OracleSpeedupModel, SpeedupEstimator
+from repro.schedulers import make_scheduler
+from repro.sim.machine import Machine, MachineConfig, RunResult
+from repro.sim.topology import Topology, make_topology, standard_topologies
+from repro.workloads.mixes import MIXES, WorkloadMix
+from repro.workloads.programs import ProgramEnv
+
+#: Scheduler evaluation order used in every figure.
+SCHEDULERS = ("linux", "wash", "colab")
+
+#: The four hardware configurations of Section 5.1.
+CONFIGS = ("2B2S", "2B4S", "4B2S", "4B4S")
+
+
+@dataclass
+class MixMetrics:
+    """Metrics of one evaluation point (already order-averaged)."""
+
+    mix_index: str
+    config: str
+    scheduler: str
+    h_antt: float
+    h_stp: float
+    makespan: float
+    #: app label -> order-averaged turnaround.
+    turnarounds: dict[str, float]
+
+
+@dataclass
+class ExperimentContext:
+    """Shared state of one experimental campaign.
+
+    Args:
+        seed: Master seed (workload structure, counter noise, ...).
+        work_scale: Uniform shrink factor on all compute.  1.0 is the
+            reference scale; the pytest benches use smaller values to keep
+            wall time low without changing workload structure.
+        estimator: Speedup model for WASH/COLAB.  ``None`` selects the
+            paper-faithful trained model (lazily, cached per process);
+            pass an :class:`~repro.model.speedup.OracleSpeedupModel` for
+            the model ablation or for fast tests.
+    """
+
+    seed: int = 42
+    work_scale: float = 1.0
+    estimator: SpeedupEstimator | None = None
+    use_learned_model: bool = True
+    _run_cache: dict = field(default_factory=dict)
+    _metrics_cache: dict = field(default_factory=dict)
+    _baselines: BaselineCache | None = None
+
+    def __post_init__(self) -> None:
+        self._baselines = BaselineCache(seed=self.seed, work_scale=self.work_scale)
+
+    # ------------------------------------------------------------------
+    def get_estimator(self) -> SpeedupEstimator:
+        """The shared runtime speedup model (train lazily if needed)."""
+        if self.estimator is None:
+            if self.use_learned_model:
+                from repro.model.training import default_speedup_model
+
+                self.estimator = default_speedup_model()
+            else:
+                self.estimator = OracleSpeedupModel(noise_std=0.1, seed=self.seed)
+        return self.estimator
+
+    def make_scheduler(self, name: str):
+        """Fresh scheduler instance (schedulers are per-machine objects)."""
+        if name in ("wash", "colab"):
+            return make_scheduler(name, estimator=self.get_estimator())
+        return make_scheduler(name)
+
+    def topology(self, config: str, big_first: bool) -> Topology:
+        base = standard_topologies().get(config)
+        if base is None:
+            raise ExperimentError(f"unknown config {config!r}; expected {CONFIGS}")
+        return base.with_order(big_first)
+
+    def baselines_for(self, mix: WorkloadMix, config: str) -> dict[str, float]:
+        """Isolated big-only baselines for every app of ``mix``."""
+        n_cores = standard_topologies()[config].n_cores
+        return self._baselines.for_mix(mix, n_cores)
+
+    def isolated_big_turnaround(self, benchmark: str, n_threads: int, n_cores: int) -> float:
+        return self._baselines.isolated_turnaround(benchmark, n_threads, n_cores)
+
+
+def run_mix_once(
+    ctx: ExperimentContext,
+    mix: WorkloadMix,
+    config: str,
+    scheduler_name: str,
+    big_first: bool,
+) -> RunResult:
+    """One simulation of ``mix`` on ``config`` under ``scheduler_name``."""
+    key = (mix.index, config, scheduler_name, big_first)
+    if key in ctx._run_cache:
+        return ctx._run_cache[key]
+    topology = ctx.topology(config, big_first)
+    machine = Machine(
+        topology,
+        ctx.make_scheduler(scheduler_name),
+        MachineConfig(seed=ctx.seed),
+    )
+    env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
+    for instance in mix.instantiate(env):
+        machine.add_program(instance)
+    result = machine.run()
+    ctx._run_cache[key] = result
+    return result
+
+
+def evaluate_mix(
+    ctx: ExperimentContext,
+    mix_index: str,
+    config: str,
+    scheduler_name: str,
+) -> MixMetrics:
+    """Order-averaged H_ANTT / H_STP of one evaluation point."""
+    key = (mix_index, config, scheduler_name)
+    if key in ctx._metrics_cache:
+        return ctx._metrics_cache[key]
+    mix = MIXES.get(mix_index)
+    if mix is None:
+        raise ExperimentError(f"unknown mix {mix_index!r}")
+
+    per_order: list[dict[str, float]] = []
+    makespans: list[float] = []
+    for big_first in (True, False):
+        result = run_mix_once(ctx, mix, config, scheduler_name, big_first)
+        turnarounds = {
+            result.app_names[app_id]: value
+            for app_id, value in result.app_turnaround.items()
+        }
+        per_order.append(turnarounds)
+        makespans.append(result.makespan)
+
+    averaged = {
+        app: (per_order[0][app] + per_order[1][app]) / 2 for app in per_order[0]
+    }
+    baselines = ctx.baselines_for(mix, config)
+    metrics = MixMetrics(
+        mix_index=mix_index,
+        config=config,
+        scheduler=scheduler_name,
+        h_antt=h_antt(averaged, baselines),
+        h_stp=h_stp(averaged, baselines),
+        makespan=sum(makespans) / len(makespans),
+        turnarounds=averaged,
+    )
+    ctx._metrics_cache[key] = metrics
+    return metrics
+
+
+def sweep(
+    ctx: ExperimentContext,
+    mix_indices: list[str],
+    configs: tuple[str, ...] = CONFIGS,
+    schedulers: tuple[str, ...] = SCHEDULERS,
+) -> list[MixMetrics]:
+    """Evaluate the full cross product (cached, order-averaged)."""
+    return [
+        evaluate_mix(ctx, mix_index, config, scheduler)
+        for mix_index in mix_indices
+        for config in configs
+        for scheduler in schedulers
+    ]

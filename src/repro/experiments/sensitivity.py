@@ -1,0 +1,111 @@
+"""Seed-sensitivity analysis of the headline comparison.
+
+The paper mitigates initial-state randomness by averaging two core
+enumeration orders; our simulator adds stochastic workload structure
+(thread profiles, work jitter) under a master seed.  This module measures
+how stable the COLAB-vs-Linux and COLAB-vs-WASH turnaround improvements
+are across seeds — the reproduction-quality analogue of running the
+experiment on differently warmed systems.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentContext, evaluate_mix
+from repro.metrics.turnaround import geomean
+from repro.model.speedup import SpeedupEstimator
+
+#: Default probe: one mix per class on mixed configurations.
+DEFAULT_PROBE = (
+    ("Sync-4", "2B2S"),
+    ("NSync-2", "4B2S"),
+    ("Comm-2", "2B4S"),
+    ("Comp-4", "2B2S"),
+    ("Rand-5", "4B4S"),
+)
+
+
+@dataclass
+class SensitivityReport:
+    """Per-seed improvements and their dispersion."""
+
+    seeds: list[int]
+    colab_vs_linux: list[float]
+    colab_vs_wash: list[float]
+
+    @property
+    def mean_vs_linux(self) -> float:
+        return statistics.fmean(self.colab_vs_linux)
+
+    @property
+    def std_vs_linux(self) -> float:
+        if len(self.colab_vs_linux) < 2:
+            return 0.0
+        return statistics.stdev(self.colab_vs_linux)
+
+    @property
+    def mean_vs_wash(self) -> float:
+        return statistics.fmean(self.colab_vs_wash)
+
+    @property
+    def std_vs_wash(self) -> float:
+        if len(self.colab_vs_wash) < 2:
+            return 0.0
+        return statistics.stdev(self.colab_vs_wash)
+
+    def render(self) -> str:
+        per_seed = "\n".join(
+            f"  seed {seed}: vs Linux {vl:+.1%}, vs WASH {vw:+.1%}"
+            for seed, vl, vw in zip(
+                self.seeds, self.colab_vs_linux, self.colab_vs_wash
+            )
+        )
+        return (
+            "COLAB turnaround improvement across seeds:\n"
+            f"{per_seed}\n"
+            f"  mean vs Linux {self.mean_vs_linux:+.1%} "
+            f"(std {self.std_vs_linux:.1%}); "
+            f"mean vs WASH {self.mean_vs_wash:+.1%} "
+            f"(std {self.std_vs_wash:.1%})"
+        )
+
+
+def seed_sensitivity(
+    seeds: list[int],
+    work_scale: float = 0.35,
+    probe=DEFAULT_PROBE,
+    estimator: SpeedupEstimator | None = None,
+) -> SensitivityReport:
+    """Evaluate the probe under every seed and summarise dispersion.
+
+    Each seed gets a fresh :class:`ExperimentContext` (fresh baselines and
+    workload structure); the improvement per seed is the geomean over the
+    probe of per-point H_ANTT ratios.
+
+    Raises:
+        ExperimentError: if no seeds are given.
+    """
+    if not seeds:
+        raise ExperimentError("need at least one seed")
+    vs_linux: list[float] = []
+    vs_wash: list[float] = []
+    for seed in seeds:
+        ctx = ExperimentContext(
+            seed=seed, work_scale=work_scale, estimator=estimator
+        )
+        ratios_linux = []
+        ratios_wash = []
+        for mix_index, config in probe:
+            linux = evaluate_mix(ctx, mix_index, config, "linux")
+            wash = evaluate_mix(ctx, mix_index, config, "wash")
+            colab = evaluate_mix(ctx, mix_index, config, "colab")
+            ratios_linux.append(colab.h_antt / linux.h_antt)
+            ratios_wash.append(colab.h_antt / wash.h_antt)
+        vs_linux.append(1.0 - geomean(ratios_linux))
+        vs_wash.append(1.0 - geomean(ratios_wash))
+    return SensitivityReport(
+        seeds=list(seeds), colab_vs_linux=vs_linux, colab_vs_wash=vs_wash
+    )

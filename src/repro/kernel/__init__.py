@@ -1,0 +1,38 @@
+"""Linux-like kernel scheduling substrate.
+
+This package rebuilds, in Python, the parts of the Linux kernel that the
+COLAB paper modifies or relies upon:
+
+* :mod:`repro.kernel.task` -- the ``task_struct`` analogue, including the
+  per-task bookkeeping COLAB adds (blocking time, predicted speedup,
+  labels);
+* :mod:`repro.kernel.rbtree` -- the red-black tree used by CFS to order
+  runnable entities by virtual runtime;
+* :mod:`repro.kernel.runqueue` -- per-core runqueues built on the tree;
+* :mod:`repro.kernel.futex` -- the futex wait/wake machinery instrumented
+  exactly where the paper instruments it (``futex_wait_queue_me`` /
+  ``wake_futex``) to accumulate caused-wait time on the waker;
+* :mod:`repro.kernel.sync` -- locks, barriers, condition variables and
+  bounded pipes built on futexes, used by the synthetic workloads.
+"""
+
+from repro.kernel.futex import FutexTable, FutexWaiter
+from repro.kernel.rbtree import RBTree
+from repro.kernel.runqueue import RunQueue
+from repro.kernel.sync import Barrier, CondVar, Mutex, Pipe, RWLock, Semaphore
+from repro.kernel.task import Task, TaskState
+
+__all__ = [
+    "Barrier",
+    "CondVar",
+    "FutexTable",
+    "FutexWaiter",
+    "Mutex",
+    "Pipe",
+    "RBTree",
+    "RWLock",
+    "RunQueue",
+    "Semaphore",
+    "Task",
+    "TaskState",
+]

@@ -1,0 +1,374 @@
+"""A red-black tree keyed by ``(key, tiebreak)`` pairs.
+
+The Linux CFS scheduler keeps runnable entities in a red-black tree ordered
+by virtual runtime and caches the leftmost node so that picking the next
+task is O(1).  This module reproduces that structure faithfully -- including
+the leftmost cache -- rather than approximating it with a sorted list or a
+heap, because the runqueue semantics (stable ordering among equal
+vruntimes, in-place removal of arbitrary tasks on migration or blocking)
+are exactly the operations a red-black tree makes cheap.
+
+Keys are ``(float, int)`` tuples: the float is the ordering key (vruntime),
+the int a stable tiebreak (task id), so iteration order is deterministic.
+
+The implementation is a classic CLRS-style red-black tree with a sentinel
+NIL node.  Every mutating operation preserves the five red-black
+invariants, which the property-based test-suite checks explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+RED = True
+BLACK = False
+
+Key = tuple[float, int]
+
+
+class _Node:
+    """Internal tree node; users never see these."""
+
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: Key, value: Any, nil: "_Node | None") -> None:
+        self.key = key
+        self.value = value
+        self.color = RED
+        self.left: _Node = nil if nil is not None else self
+        self.right: _Node = nil if nil is not None else self
+        self.parent: _Node = nil if nil is not None else self
+
+
+class RBTree:
+    """Red-black tree with a cached leftmost node and O(log n) updates.
+
+    Supports the operations CFS needs from ``rb_tree``:
+
+    * :meth:`insert` a (key, value) pair,
+    * :meth:`remove` an exact key,
+    * :meth:`leftmost` / :meth:`pop_leftmost` for pick-next,
+    * ordered :meth:`items` iteration for diagnostics.
+
+    Duplicate *exact* keys are rejected (CFS guarantees uniqueness with the
+    task pointer as tiebreak; we use the integer component of the key).
+    """
+
+    def __init__(self) -> None:
+        self._nil = _Node(key=(0.0, 0), value=None, nil=None)
+        self._nil.color = BLACK
+        self._root: _Node = self._nil
+        self._leftmost: _Node = self._nil
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Key) -> bool:
+        return self._find(key) is not self._nil
+
+    def leftmost(self) -> tuple[Key, Any] | None:
+        """Return the minimum (key, value) without removing it."""
+        if self._leftmost is self._nil:
+            return None
+        return (self._leftmost.key, self._leftmost.value)
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        node = self._find(key)
+        return default if node is self._nil else node.value
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """In-order (ascending key) iteration."""
+        node = self._minimum(self._root)
+        while node is not self._nil:
+            yield (node.key, node.value)
+            node = self._successor(node)
+
+    def keys(self) -> Iterator[Key]:
+        for key, _value in self.items():
+            yield key
+
+    def values(self) -> Iterator[Any]:
+        for _key, value in self.items():
+            yield value
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: Key, value: Any) -> None:
+        """Insert ``key`` mapping to ``value``.
+
+        Raises:
+            KeyError: if an entry with the exact same key already exists.
+        """
+        parent = self._nil
+        cursor = self._root
+        while cursor is not self._nil:
+            parent = cursor
+            if key < cursor.key:
+                cursor = cursor.left
+            elif key > cursor.key:
+                cursor = cursor.right
+            else:
+                raise KeyError(f"duplicate key {key!r}")
+        node = _Node(key, value, self._nil)
+        node.parent = parent
+        if parent is self._nil:
+            self._root = node
+        elif key < parent.key:
+            parent.left = node
+        else:
+            parent.right = node
+        self._size += 1
+        if self._leftmost is self._nil or key < self._leftmost.key:
+            self._leftmost = node
+        self._insert_fixup(node)
+
+    def remove(self, key: Key) -> Any:
+        """Remove the entry with exact ``key`` and return its value.
+
+        Raises:
+            KeyError: if no such key exists.
+        """
+        node = self._find(key)
+        if node is self._nil:
+            raise KeyError(f"key {key!r} not in tree")
+        value = node.value
+        if node is self._leftmost:
+            self._leftmost = self._successor(node)
+        self._delete(node)
+        self._size -= 1
+        if self._size == 0:
+            self._leftmost = self._nil
+        return value
+
+    def pop_leftmost(self) -> tuple[Key, Any] | None:
+        """Remove and return the minimum entry, or ``None`` if empty."""
+        entry = self.leftmost()
+        if entry is None:
+            return None
+        self.remove(entry[0])
+        return entry
+
+    def clear(self) -> None:
+        self._root = self._nil
+        self._leftmost = self._nil
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Internal machinery (CLRS)
+    # ------------------------------------------------------------------
+    def _find(self, key: Key) -> _Node:
+        cursor = self._root
+        while cursor is not self._nil:
+            if key < cursor.key:
+                cursor = cursor.left
+            elif key > cursor.key:
+                cursor = cursor.right
+            else:
+                return cursor
+        return self._nil
+
+    def _minimum(self, node: _Node) -> _Node:
+        if node is self._nil:
+            return self._nil
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def _successor(self, node: _Node) -> _Node:
+        if node.right is not self._nil:
+            return self._minimum(node.right)
+        parent = node.parent
+        while parent is not self._nil and node is parent.right:
+            node = parent
+            parent = parent.parent
+        return parent
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            if z.parent is z.parent.parent.left:
+                uncle = z.parent.parent.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = z.parent.parent.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._rotate_left(z.parent.parent)
+        self._root.color = BLACK
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete(self, z: _Node) -> None:
+        y = z
+        y_original_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_original_color is BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        x.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Validation (used by the property-based tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert the five red-black invariants; raise AssertionError if broken.
+
+        1. Every node is red or black (structural: booleans).
+        2. The root is black.
+        3. NIL leaves are black.
+        4. A red node has no red child.
+        5. Every root-to-leaf path has the same number of black nodes.
+
+        Also checks the binary-search ordering, the size counter, and the
+        leftmost cache.
+        """
+        assert self._nil.color is BLACK, "NIL must be black"
+        assert self._root.color is BLACK, "root must be black"
+
+        def walk(node: _Node, lo: Key | None, hi: Key | None) -> tuple[int, int]:
+            if node is self._nil:
+                return (1, 0)
+            if lo is not None:
+                assert node.key > lo, f"BST order violated at {node.key}"
+            if hi is not None:
+                assert node.key < hi, f"BST order violated at {node.key}"
+            if node.color is RED:
+                assert node.left.color is BLACK, "red node with red left child"
+                assert node.right.color is BLACK, "red node with red right child"
+            left_black, left_count = walk(node.left, lo, node.key)
+            right_black, right_count = walk(node.right, node.key, hi)
+            assert left_black == right_black, "black-height mismatch"
+            black = left_black + (1 if node.color is BLACK else 0)
+            return (black, left_count + right_count + 1)
+
+        _black_height, count = walk(self._root, None, None)
+        assert count == self._size, f"size {self._size} != node count {count}"
+        expected_leftmost = self._minimum(self._root)
+        assert self._leftmost is expected_leftmost, "leftmost cache is stale"

@@ -1,0 +1,176 @@
+"""Per-core runqueues.
+
+Each core owns one :class:`RunQueue`.  Internally it is the CFS timeline: a
+red-black tree of READY tasks keyed by ``(vruntime, tid)`` with a
+monotonic ``min_vruntime`` watermark, exactly like ``struct cfs_rq``.
+
+All three reproduced schedulers share this structure:
+
+* CFS picks the leftmost (minimum-vruntime) task;
+* WASH delegates picking to CFS, so it also uses the leftmost task;
+* COLAB's thread selector ignores vruntime order when picking and instead
+  scans for the maximum-blocking task (:meth:`max_blocking`), which is an
+  O(n) scan -- acceptable because runqueues hold at most a few dozen tasks
+  and it keeps the policy logic transparent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import KernelError
+from repro.kernel.rbtree import RBTree
+from repro.kernel.task import Task
+
+
+class RunQueue:
+    """The per-core queue of READY tasks, ordered by virtual runtime.
+
+    Args:
+        core_id: Id of the owning core (for error messages and task
+            bookkeeping).
+    """
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self._tree = RBTree()
+        self._by_tid: dict[int, Task] = {}
+        #: Tree key each task was inserted under; dequeue must use this
+        #: even if the task's vruntime changed while queued.
+        self._keys: dict[int, tuple[float, int]] = {}
+        #: Monotonic watermark of the smallest vruntime ever at the head of
+        #: this queue; used by CFS to place newly woken tasks fairly.
+        self.min_vruntime: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Size / iteration
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_tid)
+
+    def __bool__(self) -> bool:
+        return bool(self._by_tid)
+
+    def __contains__(self, task: Task) -> bool:
+        return task.tid in self._by_tid
+
+    def tasks(self) -> Iterator[Task]:
+        """Iterate queued tasks in ascending vruntime order."""
+        return iter(list(self._tree.values()))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def enqueue(self, task: Task) -> None:
+        """Add a READY task to this queue.
+
+        Raises:
+            KernelError: if the task is already queued here or elsewhere,
+                or is not in the READY state.
+        """
+        if not task.is_runnable:
+            raise KernelError(
+                f"cannot enqueue {task.name}: state is {task.state.value}"
+            )
+        if task.rq_core_id is not None:
+            raise KernelError(
+                f"task {task.name} already on runqueue of core {task.rq_core_id}"
+            )
+        key = (task.vruntime, task.tid)
+        self._tree.insert(key, task)
+        self._by_tid[task.tid] = task
+        self._keys[task.tid] = key
+        task.rq_core_id = self.core_id
+
+    def dequeue(self, task: Task) -> None:
+        """Remove a specific task (migration, or it was picked to run)."""
+        if task.tid not in self._by_tid:
+            raise KernelError(
+                f"task {task.name} not on runqueue of core {self.core_id}"
+            )
+        self._tree.remove(self._keys.pop(task.tid))
+        del self._by_tid[task.tid]
+        task.rq_core_id = None
+
+    def requeue(self, task: Task) -> None:
+        """Re-key a queued task after its vruntime (or key inputs) changed."""
+        self.dequeue(task)
+        self.enqueue(task)
+
+    # ------------------------------------------------------------------
+    # Selection primitives
+    # ------------------------------------------------------------------
+    def peek_min(self) -> Task | None:
+        """Leftmost (minimum-vruntime) task, or None if empty."""
+        entry = self._tree.leftmost()
+        return None if entry is None else entry[1]
+
+    def pop_min(self) -> Task | None:
+        """Remove and return the leftmost task (CFS pick-next).
+
+        Advances ``min_vruntime`` to the popped task's virtual runtime
+        (it becomes the running "curr"), mirroring ``update_min_vruntime``.
+        """
+        task = self.peek_min()
+        if task is None:
+            return None
+        self.dequeue(task)
+        self.min_vruntime = max(self.min_vruntime, task.vruntime)
+        return task
+
+    def best(self, key: Callable[[Task], tuple]) -> Task | None:
+        """Task minimising an arbitrary selection key (COLAB pick-next).
+
+        The key function returns a tuple; ties should be broken inside it
+        (conventionally by vruntime then tid) so selection stays
+        deterministic and starvation-resistant.
+        """
+        if not self._by_tid:
+            return None
+        best: Task | None = None
+        best_key: tuple | None = None
+        for task in self._tree.values():
+            candidate = key(task)
+            if best_key is None or candidate < best_key:
+                best_key = candidate
+                best = task
+        return best
+
+    def max_blocking(
+        self, key: Callable[[Task], float] | None = None
+    ) -> Task | None:
+        """Task with the highest blocking level (COLAB pick-next).
+
+        Ties are broken by lower vruntime then lower tid so the choice is
+        deterministic and starvation-resistant.
+
+        Args:
+            key: Optional alternative criticality metric (used by the
+                ablation that swaps caused-wait time for waiter counts).
+        """
+        if not self._by_tid:
+            return None
+        metric = key if key is not None else (lambda t: t.blocking_level)
+        best: Task | None = None
+        best_key: tuple[float, float, int] | None = None
+        for task in self._tree.values():
+            candidate = (-metric(task), task.vruntime, task.tid)
+            if best_key is None or candidate < best_key:
+                best_key = candidate
+                best = task
+        return best
+
+    def update_min_vruntime(self, running_vruntime: float | None) -> None:
+        """Advance the watermark, considering the currently running task.
+
+        Mirrors ``update_min_vruntime()`` in fair.c: the watermark follows
+        min(curr, leftmost) but never moves backwards.
+        """
+        candidates = []
+        if running_vruntime is not None:
+            candidates.append(running_vruntime)
+        head = self.peek_min()
+        if head is not None:
+            candidates.append(head.vruntime)
+        if candidates:
+            self.min_vruntime = max(self.min_vruntime, min(candidates))

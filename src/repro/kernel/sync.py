@@ -1,0 +1,331 @@
+"""Synchronisation primitives built on futexes.
+
+The synthetic PARSEC/SPLASH-2 models in :mod:`repro.workloads` synchronise
+through the four primitives below, which all reduce to
+:class:`~repro.kernel.futex.FutexTable` waits/wakes so that every blocking
+interaction feeds the paper's caused-wait criticality metric.
+
+Hand-off semantics
+------------------
+To keep the discrete-event machine simple, blocked operations complete *by
+hand-off* rather than by re-execution: a releasing thread transfers the
+mutex directly to the first waiter, the pipe delivers an item directly to a
+blocked consumer, and so on.  When the machine later resumes the woken
+task, its blocking operation has already succeeded and the task simply
+proceeds to its next action.  This matches wake-one futex usage in NPTL
+closely enough for scheduling purposes (no thundering herds, FIFO order).
+
+Every primitive method returns the list of tasks it woke; the caller (the
+machine) makes them runnable.  A method that needs the *calling* task to
+block returns ``BLOCKED``; the machine then puts the caller to sleep.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import KernelError
+from repro.kernel.futex import FutexTable, new_futex_id
+from repro.kernel.task import Task
+
+#: Sentinel returned by operations that parked the calling task.
+BLOCKED = "blocked"
+
+
+class Mutex:
+    """A FIFO hand-off mutex (futex-based lock).
+
+    Mirrors a contended NPTL mutex: uncontended acquire/release never touch
+    the futex queue; contended paths park/wake exactly one thread.
+    """
+
+    def __init__(self, futexes: FutexTable, name: str = "mutex") -> None:
+        self._futexes = futexes
+        self.name = name
+        self.futex_id = new_futex_id()
+        self.owner: Task | None = None
+        #: Number of contended acquisitions (Table 3 sync-rate measurement).
+        self.contended_acquires: int = 0
+        self.total_acquires: int = 0
+
+    def acquire(self, task: Task, now: float) -> str | None:
+        """Try to take the lock for ``task``.
+
+        Returns ``None`` if acquired immediately, or :data:`BLOCKED` if the
+        task was parked and the machine must put it to sleep.
+        """
+        self.total_acquires += 1
+        if self.owner is None:
+            self.owner = task
+            return None
+        if self.owner is task:
+            raise KernelError(f"task {task.name} re-acquiring {self.name}")
+        self.contended_acquires += 1
+        self._futexes.wait(task, self.futex_id, now, kind="lock")
+        return BLOCKED
+
+    def release(self, task: Task, now: float) -> list[Task]:
+        """Release the lock, handing it to the longest-waiting thread.
+
+        Returns the woken task (at most one).  The waiting period of the
+        woken thread is charged to ``task`` as caused-wait time.
+
+        Raises:
+            KernelError: if ``task`` does not hold the lock.
+        """
+        if self.owner is not task:
+            holder = self.owner.name if self.owner else "nobody"
+            raise KernelError(
+                f"task {task.name} releasing {self.name} held by {holder}"
+            )
+        woken = self._futexes.wake(task, self.futex_id, now, count=1)
+        self.owner = woken[0] if woken else None
+        return woken
+
+
+class Barrier:
+    """A reusable (cyclic) barrier.
+
+    The last thread to arrive releases all waiters and is charged their
+    cumulative waiting time -- making stragglers' *wakers* look critical,
+    exactly as the futex instrumentation in the paper does for
+    pthread-barrier implementations.
+    """
+
+    def __init__(self, futexes: FutexTable, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise KernelError(f"barrier {name} needs >= 1 parties, got {parties}")
+        self._futexes = futexes
+        self.name = name
+        self.parties = parties
+        self.futex_id = new_futex_id()
+        self._arrived = 0
+        #: Completed barrier episodes (diagnostics).
+        self.generations: int = 0
+
+    def arrive(self, task: Task, now: float) -> str | list[Task]:
+        """Register ``task`` at the barrier.
+
+        Returns :data:`BLOCKED` if the task must sleep, or the list of
+        woken tasks if this arrival tripped the barrier (the arriving task
+        itself continues and is *not* in the list).
+        """
+        self._arrived += 1
+        if self._arrived < self.parties:
+            self._futexes.wait(task, self.futex_id, now, kind="barrier")
+            return BLOCKED
+        self._arrived = 0
+        self.generations += 1
+        return self._futexes.wake_all(task, self.futex_id, now)
+
+
+class CondVar:
+    """A condition variable with Mesa (wake-then-reacquire-free) semantics.
+
+    The workloads use it for producer/consumer signalling where the
+    associated predicate is managed by the caller.  ``wait`` releases
+    nothing (callers in our models use it outside mutexes); it simply parks
+    the task until a ``signal``/``broadcast``.
+    """
+
+    def __init__(self, futexes: FutexTable, name: str = "cond") -> None:
+        self._futexes = futexes
+        self.name = name
+        self.futex_id = new_futex_id()
+
+    def wait(self, task: Task, now: float) -> str:
+        """Park ``task`` until signalled.  Always returns :data:`BLOCKED`."""
+        self._futexes.wait(task, self.futex_id, now, kind="cond")
+        return BLOCKED
+
+    def signal(self, task: Task, now: float) -> list[Task]:
+        """Wake one waiter (if any), charging its wait to ``task``."""
+        return self._futexes.wake(task, self.futex_id, now, count=1)
+
+    def broadcast(self, task: Task, now: float) -> list[Task]:
+        """Wake all waiters, charging their waits to ``task``."""
+        return self._futexes.wake_all(task, self.futex_id, now)
+
+
+class Pipe:
+    """A bounded FIFO queue connecting pipeline stages (ferret/dedup model).
+
+    Producers block when the buffer is full; consumers block when it is
+    empty.  Delivery to blocked peers is by direct hand-off (see module
+    docstring).  The buffer stores opaque items -- the workload models use
+    integers counting work tokens.
+    """
+
+    def __init__(
+        self, futexes: FutexTable, capacity: int, name: str = "pipe"
+    ) -> None:
+        if capacity < 1:
+            raise KernelError(f"pipe {name} needs capacity >= 1, got {capacity}")
+        self._futexes = futexes
+        self.name = name
+        self.capacity = capacity
+        self._buffer: deque[Any] = deque()
+        self._empty_futex = new_futex_id()  # consumers park here
+        self._full_futex = new_futex_id()  # producers park here
+        #: Items handed directly to woken consumers, keyed by tid.
+        self._delivered: dict[int, Any] = {}
+        #: Items carried by blocked producers, keyed by tid.
+        self._pending_put: dict[int, Any] = {}
+        self.total_puts = 0
+        self.total_gets = 0
+
+    # ------------------------------------------------------------------
+    def put(self, task: Task, item: Any, now: float) -> str | list[Task]:
+        """Enqueue ``item``.
+
+        Returns the (possibly empty) list of woken consumers, or
+        :data:`BLOCKED` if the buffer is full and the producer parked.
+        """
+        self.total_puts += 1
+        consumers = self._futexes.waiters(self._empty_futex)
+        if consumers:
+            # Hand the item straight to the longest-waiting consumer.
+            woken = self._futexes.wake(task, self._empty_futex, now, count=1)
+            self._delivered[woken[0].tid] = item
+            return woken
+        if len(self._buffer) >= self.capacity:
+            self._pending_put[task.tid] = item
+            self._futexes.wait(task, self._full_futex, now, kind="pipe")
+            return BLOCKED
+        self._buffer.append(item)
+        return []
+
+    def get(self, task: Task, now: float) -> str | tuple[Any, list[Task]]:
+        """Dequeue one item.
+
+        Returns ``(item, woken_producers)`` on success or :data:`BLOCKED`
+        if the buffer was empty and the consumer parked (the item will be
+        available via :meth:`collect_delivery` once woken).
+        """
+        self.total_gets += 1
+        if self._buffer:
+            item = self._buffer.popleft()
+            woken = self._futexes.wake(task, self._full_futex, now, count=1)
+            for producer in woken:
+                self._buffer.append(self._pending_put.pop(producer.tid))
+            return (item, woken)
+        self._futexes.wait(task, self._empty_futex, now, kind="pipe")
+        return BLOCKED
+
+    def collect_delivery(self, task: Task) -> Any:
+        """Retrieve the item handed to a consumer woken from :meth:`get`."""
+        if task.tid not in self._delivered:
+            raise KernelError(
+                f"no delivered item for {task.name} on pipe {self.name}"
+            )
+        return self._delivered.pop(task.tid)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class Semaphore:
+    """A counting semaphore with FIFO permit hand-off.
+
+    ``permits`` tokens are shared between acquirers; a release while
+    threads are parked hands the permit directly to the longest waiter
+    (so the count never goes positive while someone is queued), matching
+    the hand-off convention of the other primitives.
+    """
+
+    def __init__(self, futexes: FutexTable, permits: int, name: str = "sem") -> None:
+        if permits < 0:
+            raise KernelError(f"semaphore {name} needs permits >= 0, got {permits}")
+        self._futexes = futexes
+        self.name = name
+        self.permits = permits
+        self.futex_id = new_futex_id()
+        #: Diagnostics: contended acquisitions.
+        self.contended_acquires: int = 0
+
+    def acquire(self, task: Task, now: float) -> str | None:
+        """Take one permit; returns :data:`BLOCKED` if none is available."""
+        if self.permits > 0:
+            self.permits -= 1
+            return None
+        self.contended_acquires += 1
+        self._futexes.wait(task, self.futex_id, now, kind="lock")
+        return BLOCKED
+
+    def release(self, task: Task, now: float) -> list[Task]:
+        """Return one permit, waking (and satisfying) the longest waiter."""
+        woken = self._futexes.wake(task, self.futex_id, now, count=1)
+        if not woken:
+            self.permits += 1
+        return woken
+
+
+class RWLock:
+    """A readers/writer lock with writer preference and hand-off wakeups.
+
+    Multiple readers share the lock; writers are exclusive.  To avoid
+    writer starvation, new readers queue once a writer is waiting.  On
+    writer release, a waiting writer (if any) receives the lock first,
+    otherwise *all* queued readers are admitted at once.
+    """
+
+    def __init__(self, futexes: FutexTable, name: str = "rwlock") -> None:
+        self._futexes = futexes
+        self.name = name
+        self._read_futex = new_futex_id()
+        self._write_futex = new_futex_id()
+        self.readers: set[int] = set()
+        self.writer: Task | None = None
+
+    # -- read side ----------------------------------------------------------
+    def acquire_read(self, task: Task, now: float) -> str | None:
+        """Enter as a reader; blocks while a writer holds or waits."""
+        if task.tid in self.readers or self.writer is task:
+            raise KernelError(f"task {task.name} already holds {self.name}")
+        writers_waiting = self._futexes.waiter_count(self._write_futex) > 0
+        if self.writer is None and not writers_waiting:
+            self.readers.add(task.tid)
+            return None
+        self._futexes.wait(task, self._read_futex, now, kind="lock")
+        return BLOCKED
+
+    def release_read(self, task: Task, now: float) -> list[Task]:
+        """Leave the read side; the last reader admits a waiting writer."""
+        if task.tid not in self.readers:
+            raise KernelError(f"task {task.name} does not hold {self.name} (read)")
+        self.readers.discard(task.tid)
+        if not self.readers:
+            woken = self._futexes.wake(task, self._write_futex, now, count=1)
+            if woken:
+                self.writer = woken[0]
+            return woken
+        return []
+
+    # -- write side ---------------------------------------------------------
+    def acquire_write(self, task: Task, now: float) -> str | None:
+        """Enter exclusively; blocks while readers or a writer hold."""
+        if task.tid in self.readers or self.writer is task:
+            raise KernelError(f"task {task.name} already holds {self.name}")
+        if self.writer is None and not self.readers:
+            self.writer = task
+            return None
+        self._futexes.wait(task, self._write_futex, now, kind="lock")
+        return BLOCKED
+
+    def release_write(self, task: Task, now: float) -> list[Task]:
+        """Release exclusivity; prefer a queued writer, else admit readers."""
+        if self.writer is not task:
+            holder = self.writer.name if self.writer else "nobody"
+            raise KernelError(
+                f"task {task.name} releasing {self.name} held by {holder}"
+            )
+        self.writer = None
+        woken = self._futexes.wake(task, self._write_futex, now, count=1)
+        if woken:
+            self.writer = woken[0]
+            return woken
+        admitted = self._futexes.wake_all(task, self._read_futex, now)
+        for reader in admitted:
+            self.readers.add(reader.tid)
+        return admitted

@@ -1,0 +1,19 @@
+"""Evaluation metrics of Section 5.1 (H_NTT / H_ANTT / H_STP)."""
+
+from repro.metrics.baselines import BaselineCache
+from repro.metrics.turnaround import (
+    geomean,
+    h_antt,
+    h_ntt,
+    h_stp,
+    normalize_to,
+)
+
+__all__ = [
+    "BaselineCache",
+    "geomean",
+    "h_antt",
+    "h_ntt",
+    "h_stp",
+    "normalize_to",
+]

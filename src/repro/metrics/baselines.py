@@ -1,0 +1,67 @@
+"""Isolated big-only baselines (the T^SB of the H_* metrics).
+
+Every application's metric denominator is its turnaround when executed
+alone on a machine with *only big cores* and the same total core count as
+the evaluated topology.  On a symmetric machine all three policies reduce
+to near-identical fair schedulers, so baselines are always measured under
+CFS; they are cached because the same (benchmark, threads, core-count)
+baseline recurs across mixes, topologies and schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.schedulers.cfs import CFSScheduler
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.topology import make_topology
+from repro.workloads.benchmarks import instantiate_benchmark
+from repro.workloads.programs import ProgramEnv
+
+
+@dataclass
+class BaselineCache:
+    """Memoised isolated big-only turnaround times.
+
+    Args:
+        seed: Seed for the baseline machines (shared with the harness so
+            a full experiment is reproducible from one integer).
+        work_scale: Must match the work scale of the evaluated runs.
+    """
+
+    seed: int = 0
+    work_scale: float = 1.0
+    _cache: dict[tuple[str, int, int], float] = field(default_factory=dict)
+
+    def isolated_turnaround(
+        self, benchmark: str, n_threads: int, n_cores: int
+    ) -> float:
+        """T^SB of ``benchmark`` with ``n_threads`` on ``n_cores`` big cores."""
+        key = (benchmark, n_threads, n_cores)
+        if key not in self._cache:
+            self._cache[key] = self._measure(benchmark, n_threads, n_cores)
+        return self._cache[key]
+
+    def _measure(self, benchmark: str, n_threads: int, n_cores: int) -> float:
+        topology = make_topology(n_cores, 0)
+        machine = Machine(
+            topology,
+            CFSScheduler(),
+            MachineConfig(seed=self.seed),
+        )
+        env = ProgramEnv.for_machine(machine, work_scale=self.work_scale)
+        instance = instantiate_benchmark(benchmark, env, app_id=0, n_threads=n_threads)
+        machine.add_program(instance)
+        result = machine.run()
+        return result.makespan
+
+    def for_mix(self, mix, n_cores: int) -> dict[str, float]:
+        """Baselines for every program of a Table 4 mix, keyed by label."""
+        baselines: dict[str, float] = {}
+        seen: dict[str, int] = {}
+        for name, count in mix.programs:
+            occurrence = seen.get(name, 0)
+            seen[name] = occurrence + 1
+            label = name if occurrence == 0 else f"{name}#{occurrence}"
+            baselines[label] = self.isolated_turnaround(name, count, n_cores)
+        return baselines

@@ -1,0 +1,88 @@
+"""Heterogeneous turnaround/throughput metrics (Section 5.1).
+
+Classic ANTT/STP (Eyerman & Eeckhout) normalise each co-scheduled
+application's turnaround by its isolated runtime.  On AMPs the isolated
+runtime itself depends on scheduling (which threads got big cores), so
+the paper fixes the baseline instead to the application's runtime **alone
+on a system with only big cores** (T_i^SB):
+
+.. math::
+
+    H\\_ANTT = \\frac{1}{n} \\sum_i \\frac{T_i^M}{T_i^{SB}}, \\qquad
+    H\\_STP  = \\sum_i \\frac{T_i^{SB}}{T_i^M}, \\qquad
+    H\\_NTT  = \\frac{T^M}{T^{SB}}
+
+Lower is better for H_ANTT/H_NTT; higher is better for H_STP.  Figures
+5-9 additionally normalise each scheduler's metric to the Linux CFS value
+for the same configuration and workload (:func:`normalize_to`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.errors import ExperimentError
+
+
+def _validate(name: str, value: float) -> None:
+    if value <= 0 or not math.isfinite(value):
+        raise ExperimentError(f"{name} must be positive and finite, got {value}")
+
+
+def h_ntt(turnaround: float, baseline: float) -> float:
+    """Heterogeneous normalised turnaround time of a single application."""
+    _validate("turnaround", turnaround)
+    _validate("baseline", baseline)
+    return turnaround / baseline
+
+
+def h_antt(turnarounds: Mapping[str, float], baselines: Mapping[str, float]) -> float:
+    """Average H_NTT over the applications of one mix (lower is better).
+
+    Args:
+        turnarounds: app label -> turnaround in the co-scheduled mix.
+        baselines: app label -> isolated big-only-system turnaround.
+
+    Raises:
+        ExperimentError: if the key sets differ or any value is invalid.
+    """
+    if set(turnarounds) != set(baselines):
+        raise ExperimentError(
+            f"app sets differ: {sorted(turnarounds)} vs {sorted(baselines)}"
+        )
+    if not turnarounds:
+        raise ExperimentError("empty workload")
+    return sum(
+        h_ntt(turnarounds[app], baselines[app]) for app in turnarounds
+    ) / len(turnarounds)
+
+
+def h_stp(turnarounds: Mapping[str, float], baselines: Mapping[str, float]) -> float:
+    """System throughput relative to isolated big-only runs (higher is better)."""
+    if set(turnarounds) != set(baselines):
+        raise ExperimentError(
+            f"app sets differ: {sorted(turnarounds)} vs {sorted(baselines)}"
+        )
+    if not turnarounds:
+        raise ExperimentError("empty workload")
+    return sum(baselines[app] / turnarounds[app] for app in turnarounds)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the aggregation the paper's figures use)."""
+    items = list(values)
+    if not items:
+        raise ExperimentError("geomean of empty sequence")
+    for value in items:
+        _validate("geomean input", value)
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def normalize_to(values: Mapping[str, float], reference_key: str) -> dict[str, float]:
+    """Divide every entry by the reference entry (paper: normalise to Linux)."""
+    if reference_key not in values:
+        raise ExperimentError(f"missing reference {reference_key!r}")
+    reference = values[reference_key]
+    _validate("reference", reference)
+    return {key: value / reference for key, value in values.items()}

@@ -1,0 +1,33 @@
+"""Machine-learning speedup prediction (the paper's Table 2 pipeline).
+
+Offline: run every benchmark single-program on all-big and all-little
+machines, record the full 225-counter vectors and the measured relative
+speedups, select the six most informative counters with PCA
+(:mod:`repro.model.pca`), normalise by committed instructions, and fit a
+linear model (:mod:`repro.model.regression`).
+
+Online: every labeling period, each thread's counter window is normalised
+and fed to the trained model to predict its big-vs-little speedup
+(:mod:`repro.model.speedup`).
+"""
+
+from repro.model.pca import PCA, select_counters
+from repro.model.regression import LinearRegression
+from repro.model.speedup import (
+    LearnedSpeedupModel,
+    OracleSpeedupModel,
+    SpeedupEstimator,
+)
+from repro.model.training import TrainingSample, collect_training_set, train_speedup_model
+
+__all__ = [
+    "LearnedSpeedupModel",
+    "LinearRegression",
+    "OracleSpeedupModel",
+    "PCA",
+    "SpeedupEstimator",
+    "TrainingSample",
+    "collect_training_set",
+    "select_counters",
+    "train_speedup_model",
+]

@@ -1,0 +1,138 @@
+"""Principal component analysis and PCA-based counter selection.
+
+The paper: "Since on a real system, we do not have access to all
+performance counters simultaneously, we apply Principal Component Analysis
+(PCA) to select the six performance counters with the largest effect on
+speedup modeling."
+
+:class:`PCA` is a small, dependency-light implementation over numpy's SVD
+(we deliberately do not pull in scikit-learn).  :func:`select_counters`
+ranks counters by the magnitude of their loadings on the leading
+components, weighted by explained variance, and returns the top-k names --
+reproducing the selection step that yields Table 2's counters A-F.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class PCA:
+    """Principal component analysis of a standardized sample matrix."""
+
+    def __init__(self, n_components: int | None = None) -> None:
+        self.n_components = n_components
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "PCA":
+        """Fit on ``matrix`` of shape (n_samples, n_features).
+
+        Columns are standardized (zero mean, unit variance; constant
+        columns are left centred only) before the SVD, so counters with
+        huge raw magnitudes (cycle counts) do not drown out small ones.
+
+        Raises:
+            ModelError: on fewer than two samples or an empty matrix.
+        """
+        data = np.asarray(matrix, dtype=float)
+        if data.ndim != 2 or data.shape[0] < 2 or data.shape[1] < 1:
+            raise ModelError(f"PCA needs a (>=2, >=1) matrix, got {data.shape}")
+        self.mean_ = data.mean(axis=0)
+        std = data.std(axis=0, ddof=1)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        centred = (data - self.mean_) / self.scale_
+        _u, singular, vt = np.linalg.svd(centred, full_matrices=False)
+        n_samples = data.shape[0]
+        variance = (singular**2) / (n_samples - 1)
+        k = self.n_components or len(singular)
+        k = min(k, len(singular))
+        self.components_ = vt[:k]
+        self.explained_variance_ = variance[:k]
+        total = variance.sum()
+        self.explained_variance_ratio_ = (
+            variance[:k] / total if total > 0 else np.zeros(k)
+        )
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Project samples onto the fitted components."""
+        if self.components_ is None:
+            raise ModelError("PCA.transform called before fit")
+        data = (np.asarray(matrix, dtype=float) - self.mean_) / self.scale_
+        return data @ self.components_.T
+
+    def counter_scores(self, target_column: int | None = None) -> np.ndarray:
+        """Per-feature importance from the component loadings.
+
+        Without a target: |loading| weighted by explained-variance ratio
+        (a feature matters if it loads heavily on dominant components).
+
+        With ``target_column``: the "largest effect on speedup modeling"
+        criterion -- each feature is scored by how strongly it co-loads
+        with the target across components, weighted by explained variance.
+        Components that only capture scale (total work) carry no target
+        loading and drop out, so busy-but-uninformative counters are not
+        selected.
+        """
+        if self.components_ is None:
+            raise ModelError("PCA.counter_scores called before fit")
+        weights = self.explained_variance_ratio_[:, None]
+        if target_column is None:
+            return np.abs(self.components_ * weights).sum(axis=0)
+        target_loadings = np.abs(self.components_[:, target_column : target_column + 1])
+        return np.abs(self.components_ * weights * target_loadings).sum(axis=0)
+
+
+def select_counters(
+    matrix: np.ndarray,
+    names: list[str],
+    k: int = 6,
+    n_components: int = 10,
+    exclude: set[str] | None = None,
+    targets: np.ndarray | None = None,
+) -> list[str]:
+    """Pick the ``k`` counters with the largest effect (paper's PCA step).
+
+    Args:
+        matrix: (n_samples, n_counters) raw counter matrix.
+        names: Counter names aligned with the columns.
+        k: How many counters to keep (the paper keeps six).
+        n_components: Leading components considered by the score.
+        exclude: Names never selected (the normaliser
+            ``commit.committedInsts`` is excluded as in the paper, where it
+            divides the others rather than entering the model itself).
+        targets: Optional (n_samples,) measured speedups.  When given, the
+            target enters the PCA as an extra column and counters are
+            ranked by co-loading with it ("largest effect on speedup
+            modeling"); otherwise by raw loading magnitude.
+
+    Returns:
+        Selected names, ranked most-informative first.
+    """
+    data = np.asarray(matrix, dtype=float)
+    if len(names) != data.shape[1]:
+        raise ModelError(f"{len(names)} names for {data.shape[1]} columns")
+    excluded = exclude or set()
+    target_column: int | None = None
+    if targets is not None:
+        target = np.asarray(targets, dtype=float)
+        if target.shape != (data.shape[0],):
+            raise ModelError(
+                f"targets shape {target.shape} does not match {data.shape[0]} samples"
+            )
+        data = np.hstack([data, target[:, None]])
+        target_column = data.shape[1] - 1
+    pca = PCA(n_components=n_components).fit(data)
+    scores = pca.counter_scores(target_column=target_column)
+    n_real = len(names)
+    order = np.argsort(-scores[:n_real])
+    ranked = [names[i] for i in order if names[i] not in excluded]
+    if len(ranked) < k:
+        raise ModelError(f"cannot select {k} counters from {len(ranked)} candidates")
+    return ranked[:k]

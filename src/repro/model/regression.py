@@ -1,0 +1,71 @@
+"""Ordinary least-squares linear regression (the paper's final model form).
+
+Table 2's speedup model is a linear function of six PCA-selected counters
+normalised by committed instructions, plus an intercept (2.6109 in the
+paper).  :class:`LinearRegression` fits that form with numpy's lstsq and
+reports simple fit diagnostics (R^2, residual standard error) that
+EXPERIMENTS.md records next to the regenerated Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class LinearRegression:
+    """OLS regression ``y = intercept + X @ coef`` with fit diagnostics."""
+
+    def __init__(self) -> None:
+        self.intercept_: float | None = None
+        self.coef_: np.ndarray | None = None
+        self.r2_: float | None = None
+        self.residual_std_: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coef_ is not None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegression":
+        """Fit on ``features`` (n, d) against ``targets`` (n,).
+
+        Raises:
+            ModelError: on shape mismatch or fewer samples than
+                coefficients (the system would be underdetermined).
+        """
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ModelError(f"bad shapes: X={x.shape} y={y.shape}")
+        n_samples, n_features = x.shape
+        if n_samples < n_features + 1:
+            raise ModelError(
+                f"{n_samples} samples cannot fit {n_features} coefficients"
+            )
+        design = np.hstack([np.ones((n_samples, 1)), x])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.intercept_ = float(solution[0])
+        self.coef_ = solution[1:]
+        predictions = design @ solution
+        residuals = y - predictions
+        total = float(((y - y.mean()) ** 2).sum())
+        self.r2_ = 1.0 - float((residuals**2).sum()) / total if total > 0 else 1.0
+        dof = max(1, n_samples - n_features - 1)
+        self.residual_std_ = float(np.sqrt((residuals**2).sum() / dof))
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n, d) or a single (d,) row."""
+        if not self.is_fitted:
+            raise ModelError("predict called before fit")
+        x = np.asarray(features, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ModelError(
+                f"expected {self.coef_.shape[0]} features, got {x.shape[1]}"
+            )
+        result = self.intercept_ + x @ self.coef_
+        return result[0] if single else result

@@ -1,0 +1,117 @@
+"""Online speedup estimation used by WASH and COLAB at runtime.
+
+Every labeling period (10 ms) the scheduler reads each thread's counter
+window, normalises the informative counters by committed instructions, and
+asks a :class:`SpeedupEstimator` for the thread's predicted big-vs-little
+speedup.  Predictions are smoothed with an exponential moving average so a
+single noisy window does not flip a thread's label.
+
+Two estimators are provided:
+
+* :class:`LearnedSpeedupModel` -- the paper-faithful one: a linear model
+  over PCA-selected counters produced by :func:`repro.model.training.train_speedup_model`;
+* :class:`OracleSpeedupModel` -- reads the simulator's ground truth;
+  used by the model ablation (how much does prediction error cost?) and by
+  fast unit tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.model.regression import LinearRegression
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.task import Task
+
+#: Predictions are clipped to the physical speedup range of the modelled
+#: A57-vs-A53 pair (big cores are never slower; ~2.9x is the ceiling).
+SPEEDUP_MIN = 1.0
+SPEEDUP_MAX = 2.9
+
+#: Ignore windows with fewer committed instructions than this: the thread
+#: barely ran, so its counter ratios are noise.
+MIN_WINDOW_INSTRUCTIONS = 1e4
+
+
+class SpeedupEstimator(abc.ABC):
+    """Interface shared by the learned model and the oracle."""
+
+    @abc.abstractmethod
+    def estimate(self, task: "Task", window: dict[str, float]) -> float | None:
+        """Predicted speedup for ``task`` given its counter ``window``.
+
+        Returns None when the window carries too little signal to update
+        the estimate (the caller keeps the previous smoothed value).
+        """
+
+
+class OracleSpeedupModel(SpeedupEstimator):
+    """Ground-truth estimator (ablation / testing only).
+
+    Optionally adds zero-mean Gaussian noise so experiments can scan the
+    sensitivity of each policy to prediction error.
+    """
+
+    def __init__(self, noise_std: float = 0.0, seed: int = 0) -> None:
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+    def estimate(self, task: "Task", window: dict[str, float]) -> float | None:
+        truth = task.profile.speedup()
+        if self.noise_std > 0.0:
+            truth += self._rng.normal(0.0, self.noise_std)
+        return float(np.clip(truth, SPEEDUP_MIN, SPEEDUP_MAX))
+
+
+class LearnedSpeedupModel(SpeedupEstimator):
+    """Linear model over PCA-selected, instruction-normalised counters.
+
+    This is the runtime half of the paper's Table 2: the offline training
+    pipeline picks ``selected_counters`` and fits ``regression``; at
+    runtime the same normalisation is applied to each thread's window.
+    """
+
+    def __init__(
+        self,
+        selected_counters: list[str],
+        regression: LinearRegression,
+        normalizer: str = "commit.committedInsts",
+    ) -> None:
+        if not regression.is_fitted:
+            raise ModelError("regression must be fitted before use")
+        if len(selected_counters) != regression.coef_.shape[0]:
+            raise ModelError(
+                f"{len(selected_counters)} counters vs "
+                f"{regression.coef_.shape[0]} coefficients"
+            )
+        self.selected_counters = list(selected_counters)
+        self.regression = regression
+        self.normalizer = normalizer
+
+    def features_from(self, window: dict[str, float]) -> np.ndarray | None:
+        """Instruction-normalised feature vector, or None for a dead window."""
+        insts = window.get(self.normalizer, 0.0)
+        if insts < MIN_WINDOW_INSTRUCTIONS:
+            return None
+        return np.array(
+            [window.get(name, 0.0) / insts for name in self.selected_counters]
+        )
+
+    def estimate(self, task: "Task", window: dict[str, float]) -> float | None:
+        features = self.features_from(window)
+        if features is None:
+            return None
+        raw = float(self.regression.predict(features))
+        return float(np.clip(raw, SPEEDUP_MIN, SPEEDUP_MAX))
+
+    def describe(self) -> str:
+        """Human-readable model equation (the regenerated Table 2 body)."""
+        parts = [f"{self.regression.intercept_:.4f}"]
+        for name, coef in zip(self.selected_counters, self.regression.coef_):
+            parts.append(f"({coef:+.4f} * {name}/{self.normalizer})")
+        return "speedup = " + " ".join(parts)

@@ -1,0 +1,49 @@
+"""Discrete-event asymmetric-multicore simulator (the gem5 substitute).
+
+The :mod:`repro.sim` package provides the hardware side of the
+reproduction: simulated big/little cores (:mod:`repro.sim.core`), the
+four evaluated big.LITTLE topologies (:mod:`repro.sim.topology`), a
+synthetic performance-monitoring unit (:mod:`repro.sim.counters`), the
+event loop (:mod:`repro.sim.engine`) and the :class:`~repro.sim.machine.Machine`
+that executes multi-threaded multi-programmed workloads under a pluggable
+scheduling policy.
+"""
+
+from repro.sim.core import Core, CoreKind
+from repro.sim.counters import CounterSpec, PerformanceCounters, counter_names
+from repro.sim.dvfs import (
+    DVFSPolicy,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    energy_of_dvfs,
+)
+from repro.sim.energy import EnergyReport, PowerModel, energy_of
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventKind
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.topology import Topology, big_only_equivalent, standard_topologies
+
+__all__ = [
+    "Core",
+    "CoreKind",
+    "CounterSpec",
+    "DVFSPolicy",
+    "EnergyReport",
+    "Engine",
+    "Event",
+    "EventKind",
+    "Machine",
+    "MachineConfig",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PerformanceCounters",
+    "PowerModel",
+    "PowersaveGovernor",
+    "Topology",
+    "big_only_equivalent",
+    "counter_names",
+    "energy_of",
+    "energy_of_dvfs",
+    "standard_topologies",
+]

@@ -1,0 +1,123 @@
+"""Energy accounting for simulated runs (extension).
+
+The paper motivates AMPs with energy efficiency ("most processors will
+end up in energy-limited devices") but evaluates only performance.  This
+module adds the natural follow-up measurement: a simple cluster-level
+power model applied to per-core busy/idle residency, yielding energy and
+energy-delay product per run — enough to ask "does COLAB's performance
+come at an energy cost?" without modelling DVFS.
+
+Default power numbers approximate published Cortex-A57/A53 core figures
+at the paper's operating points (2.0 GHz vs 1.2 GHz): big cores burn
+roughly 6x the little-core power when busy, and both clusters have small
+but nonzero idle (WFI) power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.core import CoreKind
+from repro.sim.machine import RunResult
+from repro.sim.topology import Topology
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Cluster-level active/idle power in watts per core."""
+
+    big_busy_w: float = 1.8
+    big_idle_w: float = 0.12
+    little_busy_w: float = 0.30
+    little_idle_w: float = 0.03
+    #: Energy cost of one cross-core migration (cache refill), joules.
+    migration_nj: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        values = (
+            self.big_busy_w,
+            self.big_idle_w,
+            self.little_busy_w,
+            self.little_idle_w,
+            self.migration_nj,
+        )
+        if any(v < 0 for v in values):
+            raise SimulationError("power-model parameters must be >= 0")
+        if self.big_busy_w < self.big_idle_w or self.little_busy_w < self.little_idle_w:
+            raise SimulationError("busy power must be >= idle power")
+
+    def busy_power(self, kind: CoreKind) -> float:
+        return self.big_busy_w if kind is CoreKind.BIG else self.little_busy_w
+
+    def idle_power(self, kind: CoreKind) -> float:
+        return self.big_idle_w if kind is CoreKind.BIG else self.little_idle_w
+
+
+@dataclass
+class EnergyReport:
+    """Energy breakdown of one run (joules; times are simulated ms)."""
+
+    total_j: float
+    big_j: float
+    little_j: float
+    idle_j: float
+    migration_j: float
+    makespan_ms: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.total_j * (self.makespan_ms / 1000.0)
+
+    def render(self) -> str:
+        return (
+            f"energy {self.total_j:.2f} J "
+            f"(big {self.big_j:.2f} J, little {self.little_j:.2f} J, "
+            f"idle {self.idle_j:.2f} J, migration {self.migration_j:.3f} J); "
+            f"EDP {self.edp:.3f} Js"
+        )
+
+
+def energy_of(
+    result: RunResult,
+    topology: Topology,
+    model: PowerModel | None = None,
+) -> EnergyReport:
+    """Compute the energy of a finished run.
+
+    Args:
+        result: The run's :class:`~repro.sim.machine.RunResult`.
+        topology: The topology the run executed on (provides core kinds;
+            core ids match ``result.core_busy_time`` keys).
+        model: Power model (defaults to the A57/A53-like figures).
+
+    Raises:
+        SimulationError: if the result's core ids do not match the
+            topology.
+    """
+    power = model or PowerModel()
+    if set(result.core_busy_time) != set(range(topology.n_cores)):
+        raise SimulationError(
+            f"result cores {sorted(result.core_busy_time)} do not match "
+            f"topology {topology.name}"
+        )
+    big_j = little_j = idle_j = 0.0
+    for core_id, spec in enumerate(topology.specs):
+        busy_ms = result.core_busy_time[core_id]
+        idle_ms = max(0.0, result.makespan - busy_ms)
+        busy_j = busy_ms / 1000.0 * power.busy_power(spec.kind)
+        idle_j += idle_ms / 1000.0 * power.idle_power(spec.kind)
+        if spec.kind is CoreKind.BIG:
+            big_j += busy_j
+        else:
+            little_j += busy_j
+    migration_j = result.total_migrations * power.migration_nj * 1e-9
+    return EnergyReport(
+        total_j=big_j + little_j + idle_j + migration_j,
+        big_j=big_j,
+        little_j=little_j,
+        idle_j=idle_j,
+        migration_j=migration_j,
+        makespan_ms=result.makespan,
+    )

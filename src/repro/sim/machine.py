@@ -1,0 +1,732 @@
+"""The simulated machine: cores + kernel machinery + a scheduling policy.
+
+:class:`Machine` is the substitute for "gem5 + Linux v3.16" in the paper's
+methodology.  It executes multi-threaded multi-programmed workloads on an
+asymmetric multicore under a pluggable :class:`~repro.schedulers.base.Scheduler`
+and reports per-application turnaround times, from which the evaluation
+metrics (H_ANTT / H_STP / H_NTT) are computed.
+
+Execution model
+---------------
+Threads are generators yielding :mod:`~repro.workloads.actions`.  Only
+:class:`~repro.workloads.actions.Compute` consumes simulated CPU time; it
+executes at ``core.rate_for(task)`` work units per millisecond and is
+preemptible.  Synchronisation actions are instantaneous kernel operations
+that may park the thread on a futex.  The machine is event-driven: segment
+completions, time-slice expiries, timed wakeups, and the periodic labeling
+pass are heap events; everything else happens synchronously inside those
+handlers.
+
+Scheduling-cost model
+---------------------
+The paper notes a small but real management overhead (counter reads at
+context switches, labeling every 10 ms, migrations), and attributes COLAB's
+slight losses on thread-overloaded systems to more frequent migrations.
+The machine charges ``context_switch_cost`` ms whenever a core switches
+between different tasks, plus ``migration_cost`` ms when the incoming task
+last ran on a *different core* (cold caches).  Both are consumed before
+useful work retires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulerError, SimulationError
+from repro.kernel.futex import FutexTable
+from repro.kernel.runqueue import RunQueue
+from repro.kernel.task import Task, TaskState
+from repro.sim.core import Core, CoreKind
+from repro.sim.counters import PerformanceCounters
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventKind
+from repro.sim.topology import Topology
+from repro.workloads.actions import (
+    BarrierWait,
+    Compute,
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    LockAcquire,
+    LockRelease,
+    PipeGet,
+    PipePut,
+    ReadAcquire,
+    ReadRelease,
+    SemAcquire,
+    SemRelease,
+    Sleep,
+    Spawn,
+    WriteAcquire,
+    WriteRelease,
+)
+
+#: Residual work below this is considered retired (float guard).
+_EPS = 1e-9
+
+
+@dataclass
+class MachineConfig:
+    """Tunables of one simulation run."""
+
+    #: Master seed; all stochastic elements derive from it.
+    seed: int = 0
+    #: CPU cost of switching a core between two different tasks (ms).
+    context_switch_cost: float = 0.005
+    #: Additional cost when the incoming task last ran on another core (ms).
+    migration_cost: float = 0.08
+    #: Cap on zero-time actions processed per resume (livelock guard).
+    max_actions_per_advance: int = 100_000
+    #: Record a (time, core_id, tid) dispatch trace.
+    trace: bool = False
+    #: Optional per-cluster frequency scaling policy
+    #: (:class:`repro.sim.dvfs.DVFSPolicy`).
+    dvfs: object | None = None
+
+
+@dataclass
+class TaskStats:
+    """Per-task outcome summary."""
+
+    tid: int
+    name: str
+    app_id: int
+    finish_time: float | None
+    cpu_time_big: float
+    cpu_time_little: float
+    work_done: float
+    own_wait_time: float
+    caused_wait_time: float
+    migrations: int
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Machine.run`."""
+
+    topology_name: str
+    scheduler_name: str
+    makespan: float
+    #: app_id -> turnaround time (all apps start at t=0).
+    app_turnaround: dict[int, float]
+    #: app_id -> application name.
+    app_names: dict[int, str]
+    tasks: list[TaskStats]
+    scheduler_stats: object
+    total_context_switches: int
+    total_migrations: int
+    core_busy_time: dict[int, float]
+    trace: list[tuple[float, int, int]] = field(default_factory=list)
+    #: core_id -> {frequency scale -> busy ms} (DVFS residency).
+    core_busy_by_scale: dict[int, dict[float, float]] = field(default_factory=dict)
+
+    def turnaround_of(self, app_name: str) -> float:
+        """Turnaround of the (unique) application called ``app_name``."""
+        matches = [
+            self.app_turnaround[a]
+            for a, name in self.app_names.items()
+            if name == app_name
+        ]
+        if len(matches) != 1:
+            raise SimulationError(
+                f"expected exactly one app named {app_name!r}, found {len(matches)}"
+            )
+        return matches[0]
+
+
+class Machine:
+    """One simulated AMP machine executing one workload under one policy."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler,
+        config: MachineConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or MachineConfig()
+        self.engine = Engine()
+        self.cores: list[Core] = topology.build_cores()
+        for core in self.cores:
+            core.rq = RunQueue(core.core_id)
+            core.stats["last_tid"] = None
+        self.big_cores = [c for c in self.cores if c.kind is CoreKind.BIG]
+        self.little_cores = [c for c in self.cores if c.kind is CoreKind.LITTLE]
+        self.futexes = FutexTable()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.scheduler = scheduler
+        scheduler.attach(self)
+
+        self.tasks: list[Task] = []
+        self.app_names: dict[int, str] = {}
+        self._done_count = 0
+        self._dispatch_pending: set[int] = set()
+        self._trace: list[tuple[float, int, int]] = []
+        self._ran = False
+
+        self.engine.register(EventKind.SEGMENT_DONE, self._on_segment_done)
+        self.engine.register(EventKind.SLICE_EXPIRY, self._on_slice_expiry)
+        self.engine.register(EventKind.WAKEUP, self._on_timed_wakeup)
+        self.engine.register(EventKind.LABEL, self._on_label)
+        self.engine.register(EventKind.CALLBACK, self._on_dvfs)
+
+    # ------------------------------------------------------------------
+    # Workload registration
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task, app_name: str | None = None) -> None:
+        """Register a task created by a workload model.
+
+        Must be called before :meth:`run`.  All registered tasks become
+        runnable at t=0 (the paper starts from a post-initialisation
+        checkpoint where every benchmark thread already exists).
+        """
+        if self._ran:
+            raise SimulationError("cannot add tasks after run()")
+        if task.counters is None:
+            task.counters = PerformanceCounters(
+                profile=task.profile,
+                rng=np.random.default_rng(self.rng.integers(0, 2**63)),
+            )
+        self.tasks.append(task)
+        if app_name is not None:
+            self.app_names.setdefault(task.app_id, app_name)
+
+    def add_program(self, instance) -> None:
+        """Register every task of a :class:`~repro.workloads.programs.ProgramInstance`."""
+        for task in instance.tasks:
+            self.add_task(task, app_name=instance.name)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> RunResult:
+        """Execute the workload to completion and summarise the run.
+
+        Raises:
+            SimulationError: on deadlock (tasks blocked forever) or if the
+                workload did not finish before ``until``.
+        """
+        if self._ran:
+            raise SimulationError("machine already ran")
+        self._ran = True
+        if not self.tasks:
+            raise SimulationError("no tasks registered")
+
+        for task in self.tasks:
+            task.spawn_time = 0.0
+            self._wake_task(task, 0.0, is_new=True)
+        self._drain(0.0)
+
+        period = self.scheduler.label_period()
+        if period is not None:
+            self.engine.push(Event(time=period, kind=EventKind.LABEL))
+        if self.config.dvfs is not None:
+            self.engine.push(
+                Event(time=self.config.dvfs.period_ms, kind=EventKind.CALLBACK)
+            )
+
+        self.engine.run(until=until)
+
+        if self._done_count < len(self.tasks):
+            stuck = [t.name for t in self.tasks if not t.is_done]
+            raise SimulationError(
+                f"{len(stuck)} tasks never finished "
+                f"(deadlock or truncated run): {stuck[:10]}"
+            )
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _core_at(self, core_id: int) -> Core:
+        return self.cores[core_id]
+
+    def _on_segment_done(self, event: Event) -> None:
+        core = self._core_at(event.core_id)
+        if event.version != core.sched_version:
+            return
+        now = self.engine.now
+        task = core.current
+        if task is None:
+            raise SimulationError(f"segment-done on idle core {core.core_id}")
+        self._account(core, now)
+        segment = task.current_segment
+        if segment is None or segment.remaining > 1e-6:
+            raise SimulationError(
+                f"segment-done for {task.name} with remaining="
+                f"{None if segment is None else segment.remaining}"
+            )
+        segment.remaining = 0.0
+        task.current_segment = None
+        outcome = self._advance(task, core, now)
+        if outcome == "compute":
+            self._schedule_segment_done(core, task, now)
+        self._drain(now)
+
+    def _on_slice_expiry(self, event: Event) -> None:
+        core = self._core_at(event.core_id)
+        if event.version != core.sched_version:
+            return
+        now = self.engine.now
+        task = core.current
+        if task is None:
+            raise SimulationError(f"slice expiry on idle core {core.core_id}")
+        self._account(core, now)
+        task.mark_ready()
+        core.current = None
+        core.bump_version()
+        self.scheduler.enqueue(core, task, now, is_new=False)
+        self._dispatch_pending.add(core.core_id)
+        self._drain(now)
+
+    def _on_timed_wakeup(self, event: Event) -> None:
+        now = self.engine.now
+        task: Task = event.payload
+        if task.state is not TaskState.SLEEPING:
+            raise SimulationError(
+                f"timed wakeup for {task.name} in state {task.state.value}"
+            )
+        waited = now - (task.wait_started_at if task.wait_started_at else now)
+        if task.wait_started_at is not None:
+            task.own_wait_time += waited
+            if task.counters is not None:
+                task.counters.record_wait(waited)
+            task.wait_started_at = None
+        self._wake_task(task, now)
+        self._drain(now)
+
+    def _on_dvfs(self, event: Event) -> None:
+        """Periodic frequency-governor evaluation (when DVFS is enabled)."""
+        now = self.engine.now
+        policy = self.config.dvfs
+        if policy is None:
+            return
+        policy.apply(self, now)
+        if self._done_count < len(self.tasks):
+            self.engine.push(
+                Event(time=now + policy.period_ms, kind=EventKind.CALLBACK)
+            )
+        self._drain(now)
+
+    def set_core_frequency(self, core: Core, scale: float, now: float) -> None:
+        """Change ``core``'s DVFS scale, rescheduling in-flight work.
+
+        Accounting is settled at the old frequency first; a running task's
+        remaining segment is then re-timed at the new rate (it receives a
+        fresh slice -- a minor simplification over tracking the consumed
+        slice fraction across frequency changes).
+        """
+        if scale <= 0.0 or scale > 1.0:
+            raise SimulationError(f"frequency scale {scale} outside (0, 1]")
+        if abs(scale - core.freq_scale) < 1e-12:
+            return
+        task = core.current
+        if task is not None:
+            self._account(core, now)
+        core.freq_scale = scale
+        if task is not None:
+            core.bump_version()
+            if task.current_segment is not None:
+                self._schedule_segment_done(core, task, now)
+                slice_len = self.scheduler.slice_for(task, core)
+                self.engine.push(
+                    Event(
+                        time=now + task.pending_penalty + slice_len,
+                        kind=EventKind.SLICE_EXPIRY,
+                        core_id=core.core_id,
+                        version=core.sched_version,
+                    )
+                )
+
+    def _on_label(self, event: Event) -> None:
+        now = self.engine.now
+        self.scheduler.on_label_tick(now)
+        self.scheduler.stats.label_passes += 1
+        period = self.scheduler.label_period()
+        if period is not None and self._done_count < len(self.tasks):
+            self.engine.push(Event(time=now + period, kind=EventKind.LABEL))
+        self._drain(now)
+
+    # ------------------------------------------------------------------
+    # Dispatch machinery
+    # ------------------------------------------------------------------
+    def _drain(self, now: float) -> None:
+        """Fill idle cores until no pending dispatch remains (iterative)."""
+        while self._dispatch_pending:
+            core_id = min(self._dispatch_pending)
+            self._dispatch_pending.discard(core_id)
+            core = self._core_at(core_id)
+            if core.current is None:
+                self._dispatch(core, now)
+
+    def _dispatch(self, core: Core, now: float) -> None:
+        task = self.scheduler.pick_next(core, now)
+        if task is None:
+            return
+        self.scheduler.stats.picks += 1
+        self._start(core, task, now)
+
+    def _start(self, core: Core, task: Task, now: float) -> None:
+        """Dispatch ``task`` onto idle ``core``."""
+        if core.current is not None:
+            raise SchedulerError(
+                f"dispatch onto busy core {core.core_id} "
+                f"(running {core.current.name})"
+            )
+        if task.rq_core_id is not None:
+            raise SchedulerError(
+                f"picked task {task.name} still queued on core {task.rq_core_id}"
+            )
+        if not task.is_runnable:
+            raise SchedulerError(
+                f"picked task {task.name} in state {task.state.value}"
+            )
+        # Scheduling-cost model: switch cost if the core changes task,
+        # migration cost if the task changes core.
+        if core.stats["last_tid"] != task.tid:
+            core.context_switches += 1
+            task.pending_penalty += self.config.context_switch_cost
+        if task.last_core_id is not None and task.last_core_id != core.core_id:
+            task.migrations += 1
+            core.migrations_in += 1
+            task.pending_penalty += self.config.migration_cost
+        core.stats["last_tid"] = task.tid
+        task.last_core_id = core.core_id
+
+        task.mark_running(core.core_id, core.kind.value)
+        core.current = task
+        core.run_started = now
+        core.bump_version()
+        if self.config.trace:
+            self._trace.append((now, core.core_id, task.tid))
+
+        if task.current_segment is None:
+            outcome = self._advance(task, core, now)
+            if outcome != "compute":
+                return
+        self._schedule_segment_done(core, task, now)
+        slice_len = self.scheduler.slice_for(task, core)
+        if slice_len <= 0:
+            raise SchedulerError(
+                f"{self.scheduler.name} returned slice {slice_len} <= 0"
+            )
+        self.engine.push(
+            Event(
+                time=now + task.pending_penalty + slice_len,
+                kind=EventKind.SLICE_EXPIRY,
+                core_id=core.core_id,
+                version=core.sched_version,
+            )
+        )
+
+    def _schedule_segment_done(self, core: Core, task: Task, now: float) -> None:
+        segment = task.current_segment
+        if segment is None:
+            raise SimulationError(f"no segment to schedule for {task.name}")
+        rate = core.rate_for(task)
+        finish = now + task.pending_penalty + segment.remaining / rate
+        self.engine.push(
+            Event(
+                time=finish,
+                kind=EventKind.SEGMENT_DONE,
+                core_id=core.core_id,
+                version=core.sched_version,
+            )
+        )
+
+    def _account(self, core: Core, now: float) -> None:
+        """Charge execution since ``core.run_started`` to the running task."""
+        task = core.current
+        if task is None:
+            raise SimulationError(f"accounting on idle core {core.core_id}")
+        elapsed = now - core.run_started
+        if elapsed < -_EPS:
+            raise SimulationError(f"negative elapsed {elapsed}")
+        elapsed = max(0.0, elapsed)
+        if elapsed > 0.0:
+            penalty_used = min(elapsed, task.pending_penalty)
+            task.pending_penalty -= penalty_used
+            productive = elapsed - penalty_used
+            segment = task.current_segment
+            work = 0.0
+            if segment is not None and productive > 0.0:
+                work = min(productive * core.rate_for(task), segment.remaining)
+                segment.remaining -= work
+                if segment.remaining < _EPS:
+                    segment.remaining = 0.0
+            task.sum_exec_runtime += elapsed
+            task.exec_time_by_kind[core.kind.value] += elapsed
+            task.work_done += work
+            if task.counters is not None and work > 0.0:
+                task.counters.record_compute(work, productive)
+            self.scheduler.charge(task, core, elapsed, now)
+            core.busy_time += elapsed
+            by_scale = core.stats.setdefault("busy_by_scale", {})
+            by_scale[core.freq_scale] = by_scale.get(core.freq_scale, 0.0) + elapsed
+        core.run_started = now
+        if core.rq is not None:
+            core.rq.update_min_vruntime(task.vruntime)
+
+    # ------------------------------------------------------------------
+    # Wakeups
+    # ------------------------------------------------------------------
+    def _wake_task(self, task: Task, now: float, is_new: bool = False) -> None:
+        """Make ``task`` runnable: core allocation + wakeup preemption."""
+        if task.blocked_action is not None:
+            action = task.blocked_action
+            task.blocked_action = None
+            if isinstance(action, PipeGet):
+                task.pending_result = action.pipe.collect_delivery(task)
+        task.mark_ready()
+        core = self.scheduler.select_core(task, now)
+        if not task.allows_core(core.core_id):
+            raise SchedulerError(
+                f"{self.scheduler.name} allocated {task.name} to core "
+                f"{core.core_id} outside affinity {sorted(task.affinity or ())}"
+            )
+        self.scheduler.enqueue(core, task, now, is_new=is_new, is_wakeup=not is_new)
+        if core.current is None:
+            self._dispatch_pending.add(core.core_id)
+        elif self.scheduler.check_preempt_wakeup(core, task, now):
+            self.scheduler.stats.wakeup_preemptions += 1
+            self._preempt_into_rq(core, now)
+        else:
+            # The target core is busy and keeps running; if any other core
+            # sits idle, give it a chance to pull the fresh task.
+            for other in self.cores:
+                if other.current is None and task.allows_core(other.core_id):
+                    self._dispatch_pending.add(other.core_id)
+                    break
+
+    def _preempt_into_rq(self, core: Core, now: float) -> None:
+        """Stop the running task and put it back on ``core``'s runqueue."""
+        task = core.current
+        if task is None:
+            raise SimulationError(f"preempting idle core {core.core_id}")
+        self._account(core, now)
+        task.mark_ready()
+        core.current = None
+        core.bump_version()
+        core.preemptions += 1
+        self.scheduler.enqueue(core, task, now, is_new=False)
+        self._dispatch_pending.add(core.core_id)
+
+    def preempt_running(self, core: Core, now: float) -> Task:
+        """Stop the task running on ``core`` and hand it to the caller.
+
+        Used by COLAB's thread selector when a big core accelerates a
+        critical thread currently executing on a little core.  The victim
+        core is marked for redispatch; the returned task is READY and on no
+        runqueue.
+        """
+        task = core.current
+        if task is None:
+            raise SchedulerError(f"no running task to preempt on core {core.core_id}")
+        self._account(core, now)
+        task.mark_ready()
+        core.current = None
+        core.bump_version()
+        core.preemptions += 1
+        self.scheduler.stats.running_preemptions += 1
+        self._dispatch_pending.add(core.core_id)
+        return task
+
+    def request_dispatch(self, core: Core) -> None:
+        """Ask the machine to (re)fill ``core`` at the next drain point.
+
+        Schedulers call this after enqueue operations they perform outside
+        the machine's own wake/preempt paths.
+        """
+        if core.current is None:
+            self._dispatch_pending.add(core.core_id)
+
+    def migrate_queued(self, task: Task, target: Core, now: float) -> None:
+        """Move a READY, queued task onto ``target``'s runqueue (WASH)."""
+        if task.rq_core_id is None:
+            raise SchedulerError(f"task {task.name} is not queued anywhere")
+        source = self._core_at(task.rq_core_id)
+        source.rq.dequeue(task)
+        self.scheduler.enqueue(target, task, now, is_new=False)
+        if target.current is None:
+            self._dispatch_pending.add(target.core_id)
+
+    # ------------------------------------------------------------------
+    # Action processing
+    # ------------------------------------------------------------------
+    def _advance(self, task: Task, core: Core, now: float) -> str:
+        """Drive ``task``'s generator until it computes, blocks, or exits.
+
+        Returns one of ``"compute"`` (a segment is installed and the task
+        keeps the core), ``"blocked"``, ``"done"``, or ``"preempted"``
+        (a task woken by one of our zero-time actions preempted us).
+        """
+        for _ in range(self.config.max_actions_per_advance):
+            try:
+                if not task.gen_started:
+                    task.gen_started = True
+                    action = next(task.actions)
+                else:
+                    result = task.pending_result
+                    task.pending_result = None
+                    action = task.actions.send(result)
+            except StopIteration:
+                self._finish_task(task, core, now)
+                return "done"
+
+            status = self._apply_action(task, core, action, now)
+            if status == "compute":
+                return "compute"
+            if status == "blocked":
+                task.blocked_action = action
+                task.mark_sleeping()
+                core.current = None
+                core.bump_version()
+                self._dispatch_pending.add(core.core_id)
+                return "blocked"
+            # Zero-time action completed; the wakeups it caused may have
+            # preempted this very task.
+            if not task.is_running:
+                return "preempted"
+        raise SimulationError(
+            f"task {task.name} processed {self.config.max_actions_per_advance} "
+            "zero-time actions without computing or blocking (livelock)"
+        )
+
+    def _apply_action(self, task: Task, core: Core, action, now: float) -> str:
+        """Execute one action; returns "compute" / "blocked" / "continue"."""
+        if isinstance(action, Compute):
+            if action.remaining <= 0.0:
+                return "continue"  # zero-work segment: nothing to execute
+            task.current_segment = action
+            return "compute"
+        if isinstance(action, LockAcquire):
+            outcome = action.mutex.acquire(task, now)
+            return "blocked" if outcome == "blocked" else "continue"
+        if isinstance(action, LockRelease):
+            self._wake_all(action.mutex.release(task, now), now)
+            return "continue"
+        if isinstance(action, SemAcquire):
+            outcome = action.semaphore.acquire(task, now)
+            return "blocked" if outcome == "blocked" else "continue"
+        if isinstance(action, SemRelease):
+            self._wake_all(action.semaphore.release(task, now), now)
+            return "continue"
+        if isinstance(action, ReadAcquire):
+            outcome = action.rwlock.acquire_read(task, now)
+            return "blocked" if outcome == "blocked" else "continue"
+        if isinstance(action, ReadRelease):
+            self._wake_all(action.rwlock.release_read(task, now), now)
+            return "continue"
+        if isinstance(action, WriteAcquire):
+            outcome = action.rwlock.acquire_write(task, now)
+            return "blocked" if outcome == "blocked" else "continue"
+        if isinstance(action, WriteRelease):
+            self._wake_all(action.rwlock.release_write(task, now), now)
+            return "continue"
+        if isinstance(action, BarrierWait):
+            outcome = action.barrier.arrive(task, now)
+            if outcome == "blocked":
+                return "blocked"
+            self._wake_all(outcome, now)
+            return "continue"
+        if isinstance(action, CondWait):
+            action.cond.wait(task, now)
+            return "blocked"
+        if isinstance(action, CondSignal):
+            self._wake_all(action.cond.signal(task, now), now)
+            return "continue"
+        if isinstance(action, CondBroadcast):
+            self._wake_all(action.cond.broadcast(task, now), now)
+            return "continue"
+        if isinstance(action, PipePut):
+            outcome = action.pipe.put(task, action.item, now)
+            if outcome == "blocked":
+                return "blocked"
+            self._wake_all(outcome, now)
+            return "continue"
+        if isinstance(action, PipeGet):
+            outcome = action.pipe.get(task, now)
+            if outcome == "blocked":
+                return "blocked"
+            item, woken = outcome
+            task.pending_result = item
+            self._wake_all(woken, now)
+            return "continue"
+        if isinstance(action, Spawn):
+            spawned = action.task
+            if spawned.counters is None:
+                spawned.counters = PerformanceCounters(
+                    profile=spawned.profile,
+                    rng=np.random.default_rng(self.rng.integers(0, 2**63)),
+                )
+            spawned.spawn_time = now
+            self.tasks.append(spawned)
+            self.app_names.setdefault(spawned.app_id, task.name)
+            self._wake_task(spawned, now, is_new=True)
+            return "continue"
+        if isinstance(action, Sleep):
+            task.wait_started_at = now
+            self.engine.push(
+                Event(time=now + action.duration, kind=EventKind.WAKEUP, payload=task)
+            )
+            return "blocked"
+        raise SimulationError(f"unknown action {action!r} from {task.name}")
+
+    def _wake_all(self, tasks: list[Task], now: float) -> None:
+        for woken in tasks:
+            self._wake_task(woken, now)
+
+    def _finish_task(self, task: Task, core: Core, now: float) -> None:
+        task.mark_done(now)
+        core.current = None
+        core.bump_version()
+        self._done_count += 1
+        self.scheduler.on_task_done(task, now)
+        self._dispatch_pending.add(core.core_id)
+        if self._done_count == len(self.tasks):
+            self.engine.stop()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _build_result(self) -> RunResult:
+        app_turnaround: dict[int, float] = {}
+        for task in self.tasks:
+            finish = task.finish_time if task.finish_time is not None else 0.0
+            app_turnaround[task.app_id] = max(
+                app_turnaround.get(task.app_id, 0.0), finish
+            )
+        task_stats = [
+            TaskStats(
+                tid=t.tid,
+                name=t.name,
+                app_id=t.app_id,
+                finish_time=t.finish_time,
+                cpu_time_big=t.exec_time_by_kind["big"],
+                cpu_time_little=t.exec_time_by_kind["little"],
+                work_done=t.work_done,
+                own_wait_time=t.own_wait_time,
+                caused_wait_time=t.caused_wait_time,
+                migrations=t.migrations,
+            )
+            for t in self.tasks
+        ]
+        return RunResult(
+            topology_name=self.topology.name,
+            scheduler_name=self.scheduler.name,
+            makespan=max(app_turnaround.values()),
+            app_turnaround=app_turnaround,
+            app_names=dict(self.app_names),
+            tasks=task_stats,
+            scheduler_stats=self.scheduler.stats,
+            total_context_switches=sum(c.context_switches for c in self.cores),
+            total_migrations=sum(t.migrations for t in self.tasks),
+            core_busy_time={c.core_id: c.busy_time for c in self.cores},
+            trace=self._trace,
+            core_busy_by_scale={
+                c.core_id: dict(c.stats.get("busy_by_scale", {}))
+                for c in self.cores
+            },
+        )

@@ -1,0 +1,100 @@
+"""Hardware topologies: the four evaluated big.LITTLE configurations.
+
+The paper evaluates 2B2S, 2B4S, 4B2S and 4B4S, where ``B`` counts big
+(Cortex-A57-like) cores and ``S`` counts little ("small", Cortex-A53-like)
+cores.  It additionally measures each application *alone on a system with
+only big cores* to obtain the baselines of its H_ANTT / H_STP / H_NTT
+metrics; :func:`big_only_equivalent` builds that reference machine.
+
+The paper averages every result over two simulations differing only in
+core enumeration order (big cores first vs little cores first) because the
+initial round-robin placement depends on it; :meth:`Topology.with_order`
+produces the two orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.core import BIG_SPEC, LITTLE_SPEC, Core, CoreKind, CoreSpec
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An ordered list of core specs; order determines core ids."""
+
+    name: str
+    specs: tuple[CoreSpec, ...]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.specs)
+
+    @property
+    def n_big(self) -> int:
+        return sum(1 for s in self.specs if s.kind is CoreKind.BIG)
+
+    @property
+    def n_little(self) -> int:
+        return sum(1 for s in self.specs if s.kind is CoreKind.LITTLE)
+
+    def build_cores(self) -> list[Core]:
+        """Instantiate fresh :class:`~repro.sim.core.Core` objects."""
+        return [Core(core_id=i, spec=spec) for i, spec in enumerate(self.specs)]
+
+    def with_order(self, big_first: bool) -> "Topology":
+        """Return the same core mix enumerated big-first or little-first."""
+        bigs = [s for s in self.specs if s.kind is CoreKind.BIG]
+        littles = [s for s in self.specs if s.kind is CoreKind.LITTLE]
+        ordered = bigs + littles if big_first else littles + bigs
+        suffix = "bf" if big_first else "lf"
+        return Topology(name=f"{self.name}-{suffix}", specs=tuple(ordered))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def make_topology(n_big: int, n_little: int, big_first: bool = True) -> Topology:
+    """Build an ``<n_big>B<n_little>S`` topology.
+
+    Args:
+        n_big: Number of big cores (>= 0).
+        n_little: Number of little cores (>= 0).
+        big_first: Whether big cores get the lowest core ids.
+
+    Raises:
+        SimulationError: if the machine would have no cores at all.
+    """
+    if n_big + n_little < 1:
+        raise SimulationError("topology needs at least one core")
+    name = f"{n_big}B{n_little}S"
+    bigs = [BIG_SPEC] * n_big
+    littles = [LITTLE_SPEC] * n_little
+    specs = tuple(bigs + littles) if big_first else tuple(littles + bigs)
+    return Topology(name=name, specs=specs)
+
+
+def standard_topologies() -> dict[str, Topology]:
+    """The four configurations of the paper's evaluation (Section 5.1)."""
+    return {
+        "2B2S": make_topology(2, 2),
+        "2B4S": make_topology(2, 4),
+        "4B2S": make_topology(4, 2),
+        "4B4S": make_topology(4, 4),
+    }
+
+
+def big_only_equivalent(topology: Topology) -> Topology:
+    """All-big machine with the same total core count.
+
+    This is the reference system of the H_* metrics: "the runtime of each
+    application in the mix when executed alone on a system where there are
+    only big cores".
+    """
+    return make_topology(topology.n_cores, 0)
+
+
+def little_only_equivalent(topology: Topology) -> Topology:
+    """All-little machine with the same total core count (model training)."""
+    return make_topology(0, topology.n_cores)

@@ -1,0 +1,56 @@
+"""Synthetic PARSEC 3.0 / SPLASH-2 workload models.
+
+The paper evaluates on 15 benchmarks (Table 3) combined into 26
+multi-programmed mixes (Table 4).  We cannot run the real binaries inside
+a Python discrete-event simulator, so each benchmark is modelled as a set
+of threads emitting :mod:`~repro.workloads.actions` streams whose
+*scheduler-observable* structure matches the published characterisation:
+synchronisation rate, communication-to-computation ratio, parallelism
+archetype (pipeline / data-parallel / fork-join / task-queue), thread
+count, and core-sensitivity distribution.
+"""
+
+from repro.workloads.actions import (
+    Action,
+    BarrierWait,
+    Compute,
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    LockAcquire,
+    LockRelease,
+    PipeGet,
+    PipePut,
+    Sleep,
+    Spawn,
+)
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    instantiate_benchmark,
+)
+from repro.workloads.mixes import MIXES, WorkloadMix, mixes_by_class
+from repro.workloads.programs import ProgramEnv, ProgramInstance
+
+__all__ = [
+    "Action",
+    "BENCHMARKS",
+    "BarrierWait",
+    "BenchmarkSpec",
+    "Compute",
+    "CondBroadcast",
+    "CondSignal",
+    "CondWait",
+    "LockAcquire",
+    "LockRelease",
+    "MIXES",
+    "PipeGet",
+    "PipePut",
+    "ProgramEnv",
+    "ProgramInstance",
+    "Sleep",
+    "Spawn",
+    "WorkloadMix",
+    "instantiate_benchmark",
+    "mixes_by_class",
+]

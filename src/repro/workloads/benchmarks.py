@@ -1,0 +1,321 @@
+"""The fifteen benchmarks of Table 3, as parameterised synthetic models.
+
+Every spec records the paper's published categorisation (synchronisation
+rate and communication-to-computation ratio) and maps it onto model
+parameters:
+
+* **sync rate** -> lock/barrier frequency of the archetype.  Following the
+  paper's note that fluidanimate has "around 100x more lock-based
+  synchronizations than other PARSEC applications", its workers lock on
+  every chunk while medium-sync benchmarks lock every ~8 chunks;
+* **comm/comp ratio** -> memory intensity of the latent profiles.
+  Communication happens through shared memory, so communication-heavy
+  threads are memory-bound and gain little from the big core's
+  out-of-order pipeline (low ground-truth speedup), while compute-bound
+  threads approach the ~2.9x A57-vs-A53 ceiling;
+* **archetype** -> the parallelism structure: pipelines for ferret
+  (6 stages, rank-heavy) and dedup (5 stages, compress-heavy), dynamic
+  task queues for bodytrack/freqmine, barrier fork-join for the SPLASH-2
+  kernels, SPMD with critical sections for the rest.
+
+``simsmall`` scale: total per-benchmark work is sized so a single-program
+run completes in a few hundred simulated milliseconds -- large enough for
+tens of 10 ms labeling periods, small enough to sweep 26 mixes x 4
+topologies x 3 schedulers x 2 core orders in one harness invocation.
+
+The three SPLASH-2 applications fmm, water_nsquared and water_spatial
+support at most 2 threads with simsmall inputs on gem5 (Section 5.2);
+:func:`instantiate_benchmark` enforces the same cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.sim.counters import MicroArchProfile
+from repro.workloads import behaviors
+from repro.workloads.behaviors import StageSpec, split_pipeline_threads
+from repro.workloads.programs import ProgramEnv, ProgramInstance, Traits
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Static description of one benchmark model.
+
+    Attributes:
+        name: PARSEC / SPLASH-2 benchmark name.
+        suite: "parsec" or "splash2".
+        sync_rate: Table 3 synchronisation-rate class.
+        comm_ratio: Table 3 communication-to-computation class.
+        archetype: Parallelism structure family.
+        traits: Behavioural traits driving the latent profiles.
+        base_work: Total compute (big-core ms) at ``work_scale=1``.
+        default_threads: Thread count used when a mix does not specify one.
+        max_threads: Hard cap (None = unlimited).
+        builder: Function (env, app_id, name, spec, n_threads) -> tasks.
+    """
+
+    name: str
+    suite: str
+    sync_rate: str
+    comm_ratio: str
+    archetype: str
+    traits: Traits
+    base_work: float
+    default_threads: int
+    max_threads: int | None
+    builder: Callable
+    #: Structural minimum (pipelines need one thread per stage, task
+    #: queues need a master plus a worker).
+    min_threads: int = 1
+
+
+def _mem(level: str) -> float:
+    """Memory intensity from a Table 3 comm/comp class."""
+    return {"low": 0.15, "medium": 0.45, "high": 0.72}[level]
+
+
+def _cmp(level: str) -> float:
+    """Compute intensity from a Table 3 comm/comp class (inverse-ish)."""
+    return {"low": 0.85, "medium": 0.55, "high": 0.3}[level]
+
+
+def _sync(level: str) -> float:
+    """Sync intensity from a Table 3 sync-rate class."""
+    return {"low": 0.15, "medium": 0.45, "high": 0.7, "very high": 0.95}[level]
+
+
+def _traits(sync_rate: str, comm_ratio: str) -> Traits:
+    return Traits(
+        compute_intensity=_cmp(comm_ratio),
+        memory_intensity=_mem(comm_ratio),
+        sync_intensity=_sync(sync_rate),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-benchmark builders
+# ---------------------------------------------------------------------------
+
+
+def _build_blackscholes(env, app_id, name, spec, n):
+    """Embarrassingly parallel option pricing; one barrier per run chunk."""
+    return behaviors.data_parallel(
+        env, app_id, name, spec.traits, n, spec.base_work,
+        n_phases=3, chunk_work=1.2, lock_every=0, imbalance=0.08,
+    )
+
+
+def _build_bodytrack(env, app_id, name, spec, n):
+    """Per-frame dynamic work splitting through a task queue."""
+    return behaviors.task_queue(
+        env, app_id, name, spec.traits, n, spec.base_work,
+        n_chunks=72, master_fraction=0.1, lock_every=6, cs_work=0.03,
+    )
+
+
+def _build_dedup(env, app_id, name, spec, n):
+    """5-stage pipeline (fragment/refine/dedup/compress/reorder)."""
+    counts = split_pipeline_threads(n, n_middle=3)
+    weights = [0.4, 0.85, 1.0, 1.6, 0.3]  # compress dominates
+    stage_names = ["fragment", "refine", "dedup", "compress", "reorder"]
+    per_item = spec.base_work / 90
+    stages = [
+        StageSpec(sname, threads, per_item * weight)
+        for sname, threads, weight in zip(stage_names, counts, weights)
+    ]
+    return behaviors.pipeline(
+        env, app_id, name, spec.traits, stages, n_items=90, pipe_capacity=12
+    )
+
+
+def _build_ferret(env, app_id, name, spec, n):
+    """6-stage similarity-search pipeline with a dominant rank stage."""
+    counts = split_pipeline_threads(n, n_middle=4)
+    weights = [0.2, 0.7, 0.9, 0.8, 2.4, 0.2]  # rank dominates strongly
+    stage_names = ["load", "seg", "extract", "vector", "rank", "out"]
+    per_item = spec.base_work / 80
+    stages = [
+        StageSpec(sname, threads, per_item * weight)
+        for sname, threads, weight in zip(stage_names, counts, weights)
+    ]
+    return behaviors.pipeline(
+        env, app_id, name, spec.traits, stages, n_items=80, pipe_capacity=6
+    )
+
+
+def _build_fluidanimate(env, app_id, name, spec, n):
+    """SPMD frames with ~100x the lock rate of other PARSEC codes."""
+    return behaviors.data_parallel(
+        env, app_id, name, spec.traits, n, spec.base_work,
+        n_phases=5, chunk_work=0.35, lock_every=1, cs_work=0.015,
+        imbalance=0.12,
+    )
+
+
+def _build_freqmine(env, app_id, name, spec, n):
+    """FP-growth mining: dynamic tasks with frequent shared-structure locks."""
+    return behaviors.task_queue(
+        env, app_id, name, spec.traits, n, spec.base_work,
+        n_chunks=96, master_fraction=0.12, lock_every=1, cs_work=0.15,
+    )
+
+
+#: Swaptions' corner case (Section 5.2): core-insensitive bottleneck,
+#: core-sensitive workers.  Profiles are pinned rather than sampled.
+_SWAPTIONS_STRAGGLER = MicroArchProfile(
+    ilp=0.1, branchiness=0.3, store_pressure=0.15,
+    mem_bound=0.85, frontend_stall=0.5, quiesce=0.2,
+)
+_SWAPTIONS_WORKER = MicroArchProfile(
+    ilp=0.9, branchiness=0.5, store_pressure=0.6,
+    mem_bound=0.05, frontend_stall=0.1, quiesce=0.1,
+)
+
+
+def _build_swaptions(env, app_id, name, spec, n):
+    """Static partition; thread 0 is a memory-bound straggler."""
+    return behaviors.static_partition(
+        env, app_id, name, spec.traits, n, spec.base_work,
+        straggler_share=1.6,
+        straggler_profile=_SWAPTIONS_STRAGGLER,
+        worker_profile=_SWAPTIONS_WORKER,
+    )
+
+
+def _fork_join_builder(n_phases: int, imbalance: float, chunk_work: float = 1.0):
+    def build(env, app_id, name, spec, n):
+        return behaviors.fork_join(
+            env, app_id, name, spec.traits, n, spec.base_work,
+            n_phases=n_phases, imbalance=imbalance, chunk_work=chunk_work,
+        )
+
+    return build
+
+
+def _data_parallel_builder(
+    n_phases: int, lock_every: int, cs_work: float = 0.03, imbalance: float = 0.15
+):
+    def build(env, app_id, name, spec, n):
+        return behaviors.data_parallel(
+            env, app_id, name, spec.traits, n, spec.base_work,
+            n_phases=n_phases, chunk_work=0.8, lock_every=lock_every,
+            cs_work=cs_work, imbalance=imbalance,
+        )
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# The Table 3 catalogue
+# ---------------------------------------------------------------------------
+
+
+def _spec(
+    name: str,
+    suite: str,
+    sync_rate: str,
+    comm_ratio: str,
+    archetype: str,
+    base_work: float,
+    default_threads: int,
+    builder: Callable,
+    max_threads: int | None = None,
+    min_threads: int = 1,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        suite=suite,
+        sync_rate=sync_rate,
+        comm_ratio=comm_ratio,
+        archetype=archetype,
+        traits=_traits(sync_rate, comm_ratio),
+        base_work=base_work,
+        default_threads=default_threads,
+        max_threads=max_threads,
+        builder=builder,
+        min_threads=min_threads,
+    )
+
+
+#: All benchmarks, keyed by name, in Table 3 order.
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec("blackscholes", "parsec", "low", "high", "data_parallel",
+              260.0, 8, _build_blackscholes),
+        _spec("bodytrack", "parsec", "medium", "high", "task_queue",
+              280.0, 5, _build_bodytrack, min_threads=2),
+        _spec("dedup", "parsec", "medium", "high", "pipeline",
+              300.0, 8, _build_dedup, min_threads=5),
+        _spec("ferret", "parsec", "high", "medium", "pipeline",
+              320.0, 8, _build_ferret, min_threads=6),
+        _spec("fluidanimate", "parsec", "very high", "low", "data_parallel",
+              300.0, 8, _build_fluidanimate),
+        _spec("freqmine", "parsec", "high", "high", "task_queue",
+              280.0, 5, _build_freqmine, min_threads=2),
+        _spec("swaptions", "parsec", "low", "low", "static_partition",
+              300.0, 8, _build_swaptions),
+        _spec("radix", "splash2", "low", "high", "fork_join",
+              240.0, 4, _fork_join_builder(n_phases=4, imbalance=0.2)),
+        _spec("lu_ncb", "splash2", "low", "low", "fork_join",
+              280.0, 4, _fork_join_builder(n_phases=6, imbalance=0.35)),
+        _spec("lu_cb", "splash2", "low", "low", "fork_join",
+              280.0, 4, _fork_join_builder(n_phases=6, imbalance=0.2)),
+        _spec("ocean_cp", "splash2", "low", "low", "fork_join",
+              300.0, 4, _fork_join_builder(n_phases=8, imbalance=0.15)),
+        _spec("water_nsquared", "splash2", "medium", "medium", "data_parallel",
+              220.0, 2, _data_parallel_builder(n_phases=4, lock_every=4),
+              max_threads=2),
+        _spec("water_spatial", "splash2", "low", "low", "data_parallel",
+              220.0, 2, _data_parallel_builder(n_phases=3, lock_every=0),
+              max_threads=2),
+        _spec("fmm", "splash2", "medium", "low", "data_parallel",
+              240.0, 2, _data_parallel_builder(n_phases=4, lock_every=2, cs_work=0.05),
+              max_threads=2),
+        _spec("fft", "splash2", "low", "high", "fork_join",
+              240.0, 4, _fork_join_builder(n_phases=3, imbalance=0.2)),
+    )
+}
+
+
+def instantiate_benchmark(
+    name: str,
+    env: ProgramEnv,
+    app_id: int,
+    n_threads: int | None = None,
+    instance_name: str | None = None,
+) -> ProgramInstance:
+    """Build one program instance of benchmark ``name``.
+
+    Args:
+        name: A key of :data:`BENCHMARKS`.
+        env: Program environment of the target machine.
+        app_id: Application index within the workload.
+        n_threads: Requested thread count (default: the spec's default);
+            clamped to the spec's ``max_threads``.
+        instance_name: Label for metrics (default: the benchmark name).
+
+    Raises:
+        WorkloadError: for unknown benchmarks or non-positive counts.
+    """
+    spec = BENCHMARKS.get(name)
+    if spec is None:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}"
+        )
+    count = n_threads if n_threads is not None else spec.default_threads
+    if count < 1:
+        raise WorkloadError(f"{name}: thread count must be >= 1, got {count}")
+    if spec.max_threads is not None:
+        count = min(count, spec.max_threads)
+    if count < spec.min_threads:
+        raise WorkloadError(
+            f"{name}: needs >= {spec.min_threads} threads "
+            f"({spec.archetype} structure), got {count}"
+        )
+    label = instance_name or name
+    tasks = spec.builder(env, app_id, label, spec, count)
+    return ProgramInstance(name=label, app_id=app_id, tasks=tasks)

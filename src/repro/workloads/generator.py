@@ -1,0 +1,118 @@
+"""Random workload-mix generation (the paper's methodology, §5.1).
+
+"For each group, we randomly generate workloads with variable numbers of
+benchmarks and threads."  Table 4 lists the 26 mixes the authors drew;
+this module reproduces the *generator* so users can draw fresh,
+methodology-compatible mixes (e.g. for robustness studies beyond the
+published 26).
+
+Class pools follow Table 3's categorisation:
+
+* ``sync``  -- benchmarks with medium or higher synchronisation rate;
+* ``nsync`` -- low synchronisation rate;
+* ``comm``  -- medium-or-high communication-to-computation ratio;
+* ``comp``  -- low comm/comp ratio (computation-intensive);
+* ``rand``  -- the full Table 3 catalogue.
+
+Thread counts are drawn per program between the benchmark's structural
+minimum and a cap, respecting the 2-thread limits of fmm / water_*.
+Generation is fully determined by the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.benchmarks import BENCHMARKS, BenchmarkSpec
+from repro.workloads.mixes import WorkloadMix
+
+#: Sync-rate classes counted as "synchronisation-intensive".
+_SYNC_CLASSES = ("medium", "high", "very high")
+#: Comm classes counted as "communication-intensive".
+_COMM_CLASSES = ("medium", "high")
+
+
+def class_pool(wl_class: str) -> list[str]:
+    """Benchmark names eligible for one workload class."""
+    def eligible(spec: BenchmarkSpec) -> bool:
+        if wl_class == "sync":
+            return spec.sync_rate in _SYNC_CLASSES
+        if wl_class == "nsync":
+            return spec.sync_rate == "low"
+        if wl_class == "comm":
+            return spec.comm_ratio in _COMM_CLASSES
+        if wl_class == "comp":
+            return spec.comm_ratio == "low"
+        if wl_class == "rand":
+            return True
+        raise WorkloadError(
+            f"unknown workload class {wl_class!r}; "
+            "expected sync/nsync/comm/comp/rand"
+        )
+
+    return sorted(name for name, spec in BENCHMARKS.items() if eligible(spec))
+
+
+def generate_mix(
+    wl_class: str,
+    seed: int,
+    n_programs: int | None = None,
+    max_threads_per_program: int = 16,
+    index: str | None = None,
+) -> WorkloadMix:
+    """Draw one methodology-compatible workload mix.
+
+    Args:
+        wl_class: One of "sync"/"nsync"/"comm"/"comp"/"rand".
+        seed: Fully determines the draw.
+        n_programs: Programs in the mix (default: 2 or 4, like Table 4).
+        max_threads_per_program: Upper bound on each program's threads
+            (before the benchmark's own cap applies).
+        index: Mix label (default ``"Gen-<class>-<seed>"``).
+
+    Raises:
+        WorkloadError: for unknown classes or infeasible sizes.
+    """
+    rng = np.random.default_rng(seed)
+    pool = class_pool(wl_class)
+    if n_programs is None:
+        n_programs = int(rng.choice([2, 4]))
+    if n_programs < 1:
+        raise WorkloadError(f"need >= 1 programs, got {n_programs}")
+    if n_programs > len(pool):
+        raise WorkloadError(
+            f"class {wl_class!r} has only {len(pool)} benchmarks; "
+            f"cannot draw {n_programs} distinct programs"
+        )
+    chosen = rng.choice(pool, size=n_programs, replace=False)
+    programs = []
+    for name in chosen:
+        spec = BENCHMARKS[str(name)]
+        upper = max_threads_per_program
+        if spec.max_threads is not None:
+            upper = min(upper, spec.max_threads)
+        lower = spec.min_threads
+        if upper < lower:
+            raise WorkloadError(
+                f"{name}: cap {upper} below structural minimum {lower}"
+            )
+        count = int(rng.integers(lower, upper + 1))
+        programs.append((str(name), count))
+    return WorkloadMix(
+        index=index or f"Gen-{wl_class}-{seed}",
+        wl_class=wl_class,
+        programs=tuple(programs),
+    )
+
+
+def generate_campaign(
+    wl_class: str, n_mixes: int, seed: int, **kwargs
+) -> list[WorkloadMix]:
+    """Draw ``n_mixes`` independent mixes of one class."""
+    if n_mixes < 1:
+        raise WorkloadError(f"need >= 1 mixes, got {n_mixes}")
+    return [
+        generate_mix(wl_class, seed=seed + offset, **kwargs)
+        for offset in range(n_mixes)
+    ]

@@ -1,0 +1,143 @@
+"""Table 4: the 26 multi-programmed workload compositions.
+
+The paper groups its mixes by synchronisation intensity (Sync-1..4 vs
+NSync-1..4), communication-to-computation ratio (Comm-1..4 vs Comp-1..4),
+and a random-mixed set (Rand-1..10), each listed with its total thread
+count.  Table 4 gives compositions and totals but not the per-program
+split, so the split is a documented reproduction choice constrained by
+
+* the published total thread count (asserted by the test-suite),
+* the 2-thread cap of fmm / water_nsquared / water_spatial,
+* each archetype's structural minimum (a 5-stage pipeline needs >= 5
+  threads, a task queue needs a master plus a worker, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.benchmarks import BENCHMARKS, instantiate_benchmark
+from repro.workloads.programs import ProgramEnv, ProgramInstance
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """One multi-programmed workload of Table 4."""
+
+    index: str
+    wl_class: str
+    #: (benchmark name, thread count) per program, in composition order.
+    programs: tuple[tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        for name, count in self.programs:
+            if name not in BENCHMARKS:
+                raise WorkloadError(f"{self.index}: unknown benchmark {name}")
+            if count < 1:
+                raise WorkloadError(f"{self.index}: bad thread count {count}")
+
+    @property
+    def total_threads(self) -> int:
+        return sum(count for _name, count in self.programs)
+
+    @property
+    def n_programs(self) -> int:
+        return len(self.programs)
+
+    def instantiate(self, env: ProgramEnv) -> list[ProgramInstance]:
+        """Build all program instances (app ids follow composition order).
+
+        Repeated benchmarks within one mix get distinct instance labels
+        (none occur in Table 4, but the harness supports them).
+        """
+        seen: dict[str, int] = {}
+        instances = []
+        for app_id, (name, count) in enumerate(self.programs):
+            occurrence = seen.get(name, 0)
+            seen[name] = occurrence + 1
+            label = name if occurrence == 0 else f"{name}#{occurrence}"
+            instances.append(
+                instantiate_benchmark(
+                    name, env, app_id, n_threads=count, instance_name=label
+                )
+            )
+        return instances
+
+    def __str__(self) -> str:
+        body = " - ".join(name for name, _count in self.programs)
+        return f"{self.index} ({body}, {self.total_threads} threads)"
+
+
+def _mix(index: str, wl_class: str, *programs: tuple[str, int]) -> WorkloadMix:
+    return WorkloadMix(index=index, wl_class=wl_class, programs=tuple(programs))
+
+
+#: All 26 mixes of Table 4, keyed by index.  Totals match the paper.
+MIXES: dict[str, WorkloadMix] = {
+    mix.index: mix
+    for mix in (
+        # Synchronization-intensive (Table 4, top-left).
+        _mix("Sync-1", "sync", ("water_nsquared", 2), ("fmm", 2)),
+        _mix("Sync-2", "sync", ("dedup", 14), ("fluidanimate", 4)),
+        _mix("Sync-3", "sync", ("water_nsquared", 2), ("fmm", 2),
+             ("fluidanimate", 2), ("bodytrack", 3)),
+        _mix("Sync-4", "sync", ("dedup", 8), ("ferret", 8),
+             ("fmm", 2), ("water_nsquared", 2)),
+        # Synchronization non-intensive.
+        _mix("NSync-1", "nsync", ("water_spatial", 2), ("lu_cb", 2)),
+        _mix("NSync-2", "nsync", ("blackscholes", 8), ("swaptions", 8)),
+        _mix("NSync-3", "nsync", ("radix", 2), ("fft", 2),
+             ("water_spatial", 2), ("lu_cb", 2)),
+        _mix("NSync-4", "nsync", ("blackscholes", 8), ("ocean_cp", 4),
+             ("lu_ncb", 4), ("swaptions", 4)),
+        # Communication-intensive.
+        _mix("Comm-1", "comm", ("water_nsquared", 2), ("blackscholes", 2)),
+        _mix("Comm-2", "comm", ("ferret", 8), ("dedup", 8)),
+        _mix("Comm-3", "comm", ("water_nsquared", 2), ("fft", 2),
+             ("radix", 2), ("bodytrack", 3)),
+        _mix("Comm-4", "comm", ("blackscholes", 4), ("dedup", 8),
+             ("ferret", 6), ("water_nsquared", 2)),
+        # Computation-intensive.
+        _mix("Comp-1", "comp", ("water_spatial", 2), ("fmm", 2)),
+        _mix("Comp-2", "comp", ("fluidanimate", 8), ("swaptions", 9)),
+        _mix("Comp-3", "comp", ("lu_ncb", 2), ("fmm", 2),
+             ("water_spatial", 2), ("lu_cb", 2)),
+        _mix("Comp-4", "comp", ("fluidanimate", 8), ("ocean_cp", 4),
+             ("lu_ncb", 4), ("swaptions", 4)),
+        # Random-mixed.
+        _mix("Rand-1", "rand", ("lu_cb", 5), ("dedup", 14)),
+        _mix("Rand-2", "rand", ("lu_ncb", 5), ("bodytrack", 5)),
+        _mix("Rand-3", "rand", ("ferret", 7), ("water_spatial", 2)),
+        _mix("Rand-4", "rand", ("ocean_cp", 4), ("fft", 4)),
+        _mix("Rand-5", "rand", ("freqmine", 4), ("water_nsquared", 2)),
+        _mix("Rand-6", "rand", ("water_spatial", 2), ("fmm", 2),
+             ("fft", 9), ("fluidanimate", 8)),
+        _mix("Rand-7", "rand", ("fmm", 2), ("water_spatial", 2),
+             ("ferret", 8), ("swaptions", 8)),
+        _mix("Rand-8", "rand", ("water_spatial", 2), ("water_nsquared", 2),
+             ("ferret", 8), ("freqmine", 5)),
+        _mix("Rand-9", "rand", ("blackscholes", 16), ("bodytrack", 9),
+             ("dedup", 14), ("fluidanimate", 16)),
+        _mix("Rand-10", "rand", ("lu_cb", 16), ("lu_ncb", 16),
+             ("bodytrack", 7), ("dedup", 14)),
+    )
+}
+
+#: Published total thread counts of Table 4, for validation.
+PAPER_THREAD_COUNTS: dict[str, int] = {
+    "Sync-1": 4, "Sync-2": 18, "Sync-3": 9, "Sync-4": 20,
+    "NSync-1": 4, "NSync-2": 16, "NSync-3": 8, "NSync-4": 20,
+    "Comm-1": 4, "Comm-2": 16, "Comm-3": 9, "Comm-4": 20,
+    "Comp-1": 4, "Comp-2": 17, "Comp-3": 8, "Comp-4": 20,
+    "Rand-1": 19, "Rand-2": 10, "Rand-3": 9, "Rand-4": 8, "Rand-5": 6,
+    "Rand-6": 21, "Rand-7": 20, "Rand-8": 17, "Rand-9": 55, "Rand-10": 53,
+}
+
+
+def mixes_by_class(wl_class: str) -> list[WorkloadMix]:
+    """All mixes of one class ("sync"/"nsync"/"comm"/"comp"/"rand")."""
+    found = [m for m in MIXES.values() if m.wl_class == wl_class]
+    if not found:
+        raise WorkloadError(f"unknown workload class {wl_class!r}")
+    return found

@@ -1,0 +1,121 @@
+"""Program instantiation plumbing shared by all benchmark models.
+
+A *program* is one application of a multi-programmed workload: a set of
+tasks sharing synchronisation objects.  :class:`ProgramEnv` carries the
+per-machine resources a model needs (the futex table its primitives park
+on, the RNG all stochastic structure derives from, and a global work
+scale), and :class:`ProgramInstance` is the finished bundle handed to
+:meth:`repro.sim.machine.Machine.add_program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.kernel.futex import FutexTable
+from repro.kernel.task import Task
+from repro.sim.counters import MicroArchProfile, profile_from_traits
+
+#: Sentinel item that tells a pipe consumer to shut down.
+POISON = "__poison__"
+
+
+@dataclass
+class ProgramEnv:
+    """Resources available to workload builders.
+
+    Attributes:
+        futexes: The machine's futex table (primitives must park there so
+            blocking feeds the criticality metric).
+        rng: Deterministic randomness source for structure jitter.
+        work_scale: Multiplies every compute segment; lets the experiment
+            harness shrink simulations uniformly without changing their
+            relative structure.
+    """
+
+    futexes: FutexTable
+    rng: np.random.Generator
+    work_scale: float = 1.0
+
+    @classmethod
+    def for_machine(cls, machine, work_scale: float = 1.0) -> "ProgramEnv":
+        """Build an env bound to ``machine``'s futex table and RNG."""
+        return cls(
+            futexes=machine.futexes,
+            rng=np.random.default_rng(machine.rng.integers(0, 2**63)),
+            work_scale=work_scale,
+        )
+
+
+@dataclass
+class ProgramInstance:
+    """One instantiated application: name + its tasks."""
+
+    name: str
+    app_id: int
+    tasks: list[Task] = field(default_factory=list)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass(frozen=True)
+class Traits:
+    """Benchmark-level behavioural traits in [0, 1] each.
+
+    These drive both the latent micro-architectural profiles (hence the
+    ground-truth core sensitivity) and nothing else -- synchronisation
+    structure is explicit in the action streams.
+    """
+
+    compute_intensity: float
+    memory_intensity: float
+    sync_intensity: float
+
+    def __post_init__(self) -> None:
+        for name in ("compute_intensity", "memory_intensity", "sync_intensity"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"trait {name}={value} outside [0,1]")
+
+
+def make_profile(
+    env: ProgramEnv, traits: Traits, jitter: float = 0.08
+) -> MicroArchProfile:
+    """Sample one thread's latent profile from benchmark traits."""
+    return profile_from_traits(
+        compute_intensity=traits.compute_intensity,
+        memory_intensity=traits.memory_intensity,
+        sync_intensity=traits.sync_intensity,
+        rng=env.rng,
+        jitter=jitter,
+    )
+
+
+def make_task(
+    env: ProgramEnv,
+    name: str,
+    app_id: int,
+    traits: Traits,
+    generator,
+    profile: MicroArchProfile | None = None,
+) -> Task:
+    """Build a task with a (possibly overridden) sampled profile."""
+    return Task(
+        name=name,
+        app_id=app_id,
+        actions=generator,
+        profile=profile if profile is not None else make_profile(env, traits),
+    )
+
+
+def jittered(env: ProgramEnv, work: float, sigma: float = 0.2) -> float:
+    """Scaled work with lognormal jitter (never negative, mean ~= work)."""
+    if work < 0:
+        raise WorkloadError(f"negative work {work}")
+    factor = float(np.exp(env.rng.normal(-sigma * sigma / 2, sigma)))
+    return work * env.work_scale * factor

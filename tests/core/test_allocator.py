@@ -1,0 +1,95 @@
+"""Hierarchical round-robin allocator tests (Algorithm 1, top half)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocator import HierarchicalRRAllocator
+from repro.errors import SchedulerError
+from repro.kernel.task import CoreLabel
+from repro.sim.core import BIG_SPEC, LITTLE_SPEC, Core
+from tests.conftest import make_simple_task
+
+
+def cores(n_big, n_little):
+    bigs = [Core(core_id=i, spec=BIG_SPEC) for i in range(n_big)]
+    littles = [
+        Core(core_id=n_big + i, spec=LITTLE_SPEC) for i in range(n_little)
+    ]
+    return bigs, littles
+
+
+def labeled_task(label):
+    task = make_simple_task()
+    task.core_label = label
+    return task
+
+
+class TestRoundRobin:
+    def test_big_label_cycles_big_cluster(self):
+        bigs, littles = cores(2, 2)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        picks = [alloc.allocate(labeled_task(CoreLabel.BIG)).core_id for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_little_label_cycles_little_cluster(self):
+        bigs, littles = cores(2, 2)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        picks = [
+            alloc.allocate(labeled_task(CoreLabel.LITTLE)).core_id for _ in range(4)
+        ]
+        assert picks == [2, 3, 2, 3]
+
+    def test_any_label_cycles_all_cores(self):
+        bigs, littles = cores(2, 2)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        picks = [alloc.allocate(labeled_task(CoreLabel.ANY)).core_id for _ in range(5)]
+        assert picks == [0, 1, 2, 3, 0]
+
+    def test_cursors_are_independent(self):
+        bigs, littles = cores(2, 2)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        assert alloc.allocate(labeled_task(CoreLabel.BIG)).core_id == 0
+        assert alloc.allocate(labeled_task(CoreLabel.ANY)).core_id == 0
+        assert alloc.allocate(labeled_task(CoreLabel.BIG)).core_id == 1
+        assert alloc.allocate(labeled_task(CoreLabel.ANY)).core_id == 1
+
+    def test_allocation_counters(self):
+        bigs, littles = cores(1, 1)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        alloc.allocate(labeled_task(CoreLabel.BIG))
+        alloc.allocate(labeled_task(CoreLabel.BIG))
+        alloc.allocate(labeled_task(CoreLabel.LITTLE))
+        assert alloc.allocations[CoreLabel.BIG] == 2
+        assert alloc.allocations[CoreLabel.LITTLE] == 1
+        assert alloc.allocations[CoreLabel.ANY] == 0
+
+
+class TestFallbacks:
+    def test_big_label_on_little_only_machine(self):
+        bigs, littles = cores(0, 2)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        core = alloc.allocate(labeled_task(CoreLabel.BIG))
+        assert not core.is_big
+
+    def test_little_label_on_big_only_machine(self):
+        bigs, littles = cores(2, 0)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        core = alloc.allocate(labeled_task(CoreLabel.LITTLE))
+        assert core.is_big
+
+    def test_no_cores_rejected(self):
+        with pytest.raises(SchedulerError):
+            HierarchicalRRAllocator([], [])
+
+    def test_cluster_for(self):
+        bigs, littles = cores(2, 2)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        assert alloc.cluster_for(labeled_task(CoreLabel.BIG)) == bigs
+        assert alloc.cluster_for(labeled_task(CoreLabel.LITTLE)) == littles
+        assert len(alloc.cluster_for(labeled_task(CoreLabel.ANY))) == 4
+
+    def test_all_cores_sorted_by_id(self):
+        bigs, littles = cores(2, 2)
+        alloc = HierarchicalRRAllocator(bigs, littles)
+        assert [c.core_id for c in alloc.all_cores] == [0, 1, 2, 3]

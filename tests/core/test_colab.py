@@ -1,0 +1,210 @@
+"""COLAB scheduler integration and policy-surface tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.colab import COLABScheduler
+from repro.core.preemption import ScaleSlicePolicy
+from repro.kernel.task import CoreLabel
+from repro.model.speedup import OracleSpeedupModel
+from repro.workloads.benchmarks import instantiate_benchmark
+from repro.workloads.programs import ProgramEnv
+from tests.conftest import (
+    FAST_PROFILE,
+    SLOW_PROFILE,
+    make_machine,
+    make_simple_task,
+)
+
+
+def colab_machine(n_big=2, n_little=2, **kwargs):
+    kwargs.setdefault("estimator", OracleSpeedupModel())
+    machine = make_machine(n_big, n_little, scheduler=COLABScheduler(**kwargs))
+    return machine, machine.scheduler
+
+
+class TestScaleSlicePolicy:
+    def test_big_core_virtual_time_scaled(self):
+        machine, sched = colab_machine()
+        task = make_simple_task()
+        task.predicted_speedup = 2.0
+        sched.charge(task, machine.big_cores[0], 3.0, 3.0)
+        assert task.vruntime == pytest.approx(6.0)
+
+    def test_little_core_unscaled(self):
+        machine, sched = colab_machine()
+        task = make_simple_task()
+        task.predicted_speedup = 2.0
+        sched.charge(task, machine.little_cores[0], 3.0, 3.0)
+        assert task.vruntime == pytest.approx(3.0)
+
+    def test_big_slices_shorter(self):
+        machine, sched = colab_machine()
+        task = make_simple_task()
+        task.predicted_speedup = 2.0
+        big_slice = sched.slice_for(task, machine.big_cores[0])
+        little_slice = sched.slice_for(task, machine.little_cores[0])
+        assert big_slice == pytest.approx(little_slice / 2.0)
+
+    def test_ablation_switch_restores_cfs_accounting(self):
+        machine, sched = colab_machine(scale_slice=False)
+        task = make_simple_task()
+        task.predicted_speedup = 2.0
+        sched.charge(task, machine.big_cores[0], 3.0, 3.0)
+        assert task.vruntime == pytest.approx(3.0)
+        assert sched.slice_for(task, machine.big_cores[0]) == pytest.approx(
+            sched.slice_for(task, machine.little_cores[0])
+        )
+
+    def test_policy_floor_on_slice(self):
+        policy = ScaleSlicePolicy(min_granularity=0.75)
+        machine, _ = colab_machine()
+        task = make_simple_task()
+        task.predicted_speedup = 2.9
+        core = machine.big_cores[0]
+        for i in range(30):
+            stub = make_simple_task(f"s{i}")
+            stub.mark_ready()
+            core.rq.enqueue(stub)
+        assert policy.slice_for(task, core) >= 0.375
+
+    def test_speedup_below_one_clamped(self):
+        policy = ScaleSlicePolicy()
+        machine, _ = colab_machine()
+        task = make_simple_task()
+        task.predicted_speedup = 0.5  # defensive: estimators clip, but still
+        assert policy.charge_scale(task, machine.big_cores[0]) == 1.0
+
+
+class TestWakeupPreemption:
+    def _core_with_running(self, machine, vruntime, blocking=0.0):
+        core = machine.big_cores[0]
+        task = make_simple_task("running")
+        task.vruntime = vruntime
+        task.blocking_level = blocking
+        task.mark_ready()
+        task.mark_running(core.core_id, "big")
+        core.current = task
+        core.run_started = 0.0
+        return core, task
+
+    def test_vruntime_lag_preempts(self):
+        machine, sched = colab_machine()
+        core, _running = self._core_with_running(machine, vruntime=10.0)
+        woken = make_simple_task("woken")
+        woken.vruntime = 1.0
+        assert sched.check_preempt_wakeup(core, woken, 0.0)
+
+    def test_critical_wakeup_preempts_on_big(self):
+        machine, sched = colab_machine()
+        core, _running = self._core_with_running(machine, vruntime=2.0, blocking=0.1)
+        woken = make_simple_task("critical")
+        woken.vruntime = 1.5  # small lag, below wakeup granularity
+        woken.blocking_level = 9.0
+        assert sched.check_preempt_wakeup(core, woken, 0.0)
+
+    def test_non_critical_small_lag_does_not_preempt(self):
+        machine, sched = colab_machine()
+        core, _running = self._core_with_running(machine, vruntime=2.0, blocking=5.0)
+        woken = make_simple_task("meek")
+        woken.vruntime = 1.5
+        woken.blocking_level = 0.0
+        assert not sched.check_preempt_wakeup(core, woken, 0.0)
+
+    def test_idle_core_returns_false(self):
+        machine, sched = colab_machine()
+        assert not sched.check_preempt_wakeup(
+            machine.big_cores[0], make_simple_task(), 0.0
+        )
+
+
+class TestSelectCore:
+    def test_idle_preferred_cluster_first(self):
+        machine, sched = colab_machine()
+        task = make_simple_task()
+        task.core_label = CoreLabel.LITTLE
+        chosen = sched.select_core(task, 0.0)
+        assert not chosen.is_big
+
+    def test_idle_anywhere_before_round_robin(self):
+        machine, sched = colab_machine()
+        task = make_simple_task()
+        task.core_label = CoreLabel.BIG
+        for big in machine.big_cores:
+            big.current = make_simple_task("busy")
+        chosen = sched.select_core(task, 0.0)
+        assert not chosen.is_big  # both bigs busy; take an idle little
+
+    def test_round_robin_when_saturated(self):
+        machine, sched = colab_machine()
+        for core in machine.cores:
+            core.current = make_simple_task("busy")
+        task = make_simple_task()
+        task.core_label = CoreLabel.BIG
+        first = sched.select_core(task, 0.0)
+        second = sched.select_core(task, 0.0)
+        assert first.is_big and second.is_big
+        assert first.core_id != second.core_id
+
+    def test_label_period(self):
+        _machine, sched = colab_machine()
+        assert sched.label_period() == 10.0
+
+
+class TestIntegration:
+    def test_runs_mixed_workload(self):
+        machine, sched = colab_machine()
+        env = ProgramEnv.for_machine(machine, work_scale=0.1)
+        machine.add_program(
+            instantiate_benchmark("ferret", env, app_id=0, n_threads=6)
+        )
+        machine.add_program(
+            instantiate_benchmark("blackscholes", env, app_id=1, n_threads=4)
+        )
+        result = machine.run()
+        assert len(result.app_turnaround) == 2
+        assert sched.labeler.passes > 0
+
+    def test_core_sensitive_threads_gravitate_to_big_cores(self):
+        machine, _sched = colab_machine()
+        env = ProgramEnv.for_machine(machine, work_scale=0.4)
+        machine.add_program(
+            instantiate_benchmark("lu_cb", env, app_id=0, n_threads=2)
+        )
+        machine.add_program(
+            instantiate_benchmark("blackscholes", env, app_id=1, n_threads=2)
+        )
+        machine.run()
+        fast = [t for t in machine.tasks if "lu_cb" in t.name]
+        slow = [t for t in machine.tasks if "blackscholes" in t.name]
+
+        def big_share(tasks):
+            big = sum(t.exec_time_by_kind["big"] for t in tasks)
+            return big / sum(t.sum_exec_runtime for t in tasks)
+
+        assert big_share(fast) > big_share(slow)
+
+    def test_labels_settle_by_profile(self):
+        machine, _sched = colab_machine(n_big=1, n_little=1)
+        env = ProgramEnv.for_machine(machine, work_scale=0.6)
+        machine.add_program(
+            instantiate_benchmark("lu_cb", env, app_id=0, n_threads=2)
+        )
+        machine.run()
+        # lu_cb is compute-bound: threads should end labeled BIG.
+        assert any(t.core_label is CoreLabel.BIG for t in machine.tasks)
+
+    def test_little_preemption_happens_in_practice(self):
+        machine, sched = colab_machine(n_big=1, n_little=2)
+        env = ProgramEnv.for_machine(machine, work_scale=0.3)
+        machine.add_program(
+            instantiate_benchmark("fluidanimate", env, app_id=0, n_threads=6)
+        )
+        machine.run()
+        assert sched.selector.decisions["preempt_little"] > 0
+
+    def test_select_core_before_attach_rejected(self):
+        sched = COLABScheduler(estimator=OracleSpeedupModel())
+        with pytest.raises(RuntimeError):
+            sched.select_core(make_simple_task(), 0.0)

@@ -1,0 +1,154 @@
+"""Runtime invariants of COLAB's Algorithm 1, checked during real runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.colab import COLABScheduler
+from repro.core.selector import BiasedGlobalSelector
+from repro.model.speedup import OracleSpeedupModel
+from repro.workloads.benchmarks import instantiate_benchmark
+from repro.workloads.programs import ProgramEnv
+from tests.conftest import make_machine
+
+
+class AuditingSelector(BiasedGlobalSelector):
+    """Selector that records the machine state at every idle decision."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.big_idle_with_ready = 0
+        self.big_idle_decisions = 0
+
+    def pick(self, machine, core, now):
+        task = super().pick(machine, core, now)
+        if task is None and core.is_big:
+            self.big_idle_decisions += 1
+            if any(len(c.rq) > 0 for c in machine.cores):
+                self.big_idle_with_ready += 1
+        return task
+
+
+def run_audited(mix_benchmarks, n_big=2, n_little=2, scale=0.2, seed=5):
+    selector = AuditingSelector()
+    machine = make_machine(
+        n_big,
+        n_little,
+        scheduler=COLABScheduler(
+            estimator=OracleSpeedupModel(), selector=selector
+        ),
+        seed=seed,
+    )
+    env = ProgramEnv.for_machine(machine, work_scale=scale)
+    for app_id, (name, threads) in enumerate(mix_benchmarks):
+        machine.add_program(
+            instantiate_benchmark(name, env, app_id, n_threads=threads)
+        )
+    result = machine.run()
+    return machine, selector, result
+
+
+class TestAlgorithmOneInvariants:
+    def test_big_cores_never_idle_with_ready_threads(self):
+        """'Big cores are allowed to go idle only when there is no ready
+        thread left' -- audited at every idle decision."""
+        _machine, selector, _result = run_audited(
+            [("ferret", 6), ("blackscholes", 4)]
+        )
+        assert selector.big_idle_decisions > 0  # the audit actually ran
+        assert selector.big_idle_with_ready == 0
+
+    def test_invariant_holds_under_oversubscription(self):
+        _machine, selector, _result = run_audited(
+            [("dedup", 8), ("fluidanimate", 8)], scale=0.1
+        )
+        assert selector.big_idle_with_ready == 0
+
+    def test_little_cores_never_preempt_big(self):
+        machine, selector, _result = run_audited(
+            [("fluidanimate", 6), ("lu_cb", 2)]
+        )
+        # All running-preemptions recorded by the machine must have had
+        # little-core victims: the selector only calls preempt_running on
+        # little cores, so the counter equals the little-preempt decisions.
+        assert (
+            machine.scheduler.stats.running_preemptions
+            == selector.decisions["preempt_little"]
+        )
+
+    def test_selection_is_work_conserving(self):
+        """No idle decision while the *local* queue is non-empty."""
+
+        class LocalAudit(BiasedGlobalSelector):
+            violations = 0
+
+            def pick(self, machine, core, now):
+                had_local = len(core.rq) > 0
+                task = super().pick(machine, core, now)
+                if task is None and had_local:
+                    LocalAudit.violations += 1
+                return task
+
+        LocalAudit.violations = 0
+        machine = make_machine(
+            2, 2,
+            scheduler=COLABScheduler(
+                estimator=OracleSpeedupModel(), selector=LocalAudit()
+            ),
+            seed=2,
+        )
+        env = ProgramEnv.for_machine(machine, work_scale=0.15)
+        machine.add_program(instantiate_benchmark("bodytrack", env, 0, n_threads=5))
+        machine.add_program(instantiate_benchmark("radix", env, 1, n_threads=4))
+        machine.run()
+        assert LocalAudit.violations == 0
+
+
+class TestMotivatingPlacement:
+    def test_high_speedup_threads_get_the_big_core(self):
+        """In the Figure 1 scenario, γ and α1 (high speedup) should receive
+        most of their CPU time on the big core under COLAB."""
+        from repro.experiments.motivating import run_motivating_example
+        from repro.schedulers import make_scheduler
+        from repro.sim.machine import Machine, MachineConfig
+        from repro.sim.topology import make_topology
+        from repro.experiments import motivating
+
+        machine = Machine(
+            make_topology(1, 1),
+            make_scheduler("colab"),
+            MachineConfig(seed=3),
+        )
+        for task in motivating._blocking_pair(
+            machine, "alpha", 0, motivating.HIGH_SPEEDUP,
+            motivating.LOW_SPEEDUP, 20.0, 20.0,
+        ):
+            machine.add_task(task, app_name="alpha")
+        for task in motivating._blocking_pair(
+            machine, "beta", 1, motivating.LOW_SPEEDUP,
+            motivating.LOW_SPEEDUP, 20.0, 20.0,
+        ):
+            machine.add_task(task, app_name="beta")
+
+        from repro.kernel.task import Task
+        from repro.workloads.actions import Compute
+
+        def gamma():
+            yield Compute(30.0)
+
+        machine.add_task(
+            Task("gamma", 2, gamma(), motivating.HIGH_SPEEDUP), app_name="gamma"
+        )
+        machine.run()
+
+        by_name = {t.name: t for t in machine.tasks}
+
+        def big_share(task):
+            total = task.sum_exec_runtime
+            return task.exec_time_by_kind["big"] / total if total else 0.0
+
+        # The high-speedup threads live mostly on the big core...
+        assert big_share(by_name["gamma"]) > 0.5
+        assert big_share(by_name["alpha1"]) > 0.5
+        # ...while the core-insensitive blocker runs mostly on the little.
+        assert big_share(by_name["beta1"]) < 0.5

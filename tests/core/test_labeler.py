@@ -1,0 +1,87 @@
+"""Multi-factor labeler tests (Section 3.2 labeling rule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labeler import LabelerConfig, MultiFactorLabeler
+from repro.kernel.task import CoreLabel
+from repro.model.speedup import OracleSpeedupModel
+from repro.sim.counters import PerformanceCounters
+from tests.conftest import (
+    FAST_PROFILE,
+    NEUTRAL_PROFILE,
+    SLOW_PROFILE,
+    make_simple_task,
+)
+
+
+def labeler(**kwargs):
+    return MultiFactorLabeler(OracleSpeedupModel(), LabelerConfig(**kwargs))
+
+
+def task_with(speedup=1.5, blocking=0.0, profile=NEUTRAL_PROFILE):
+    task = make_simple_task(profile=profile)
+    task.predicted_speedup = speedup
+    task.blocking_level = blocking
+    task.counters = PerformanceCounters(
+        profile=profile, rng=np.random.default_rng(0)
+    )
+    return task
+
+
+class TestClassify:
+    def test_high_speedup_is_big(self):
+        assert labeler().classify(task_with(speedup=2.2)) is CoreLabel.BIG
+
+    def test_threshold_boundary_is_big(self):
+        config = LabelerConfig()
+        task = task_with(speedup=config.speedup_high)
+        assert labeler().classify(task) is CoreLabel.BIG
+
+    def test_low_speedup_low_blocking_is_little(self):
+        assert labeler().classify(task_with(speedup=1.1)) is CoreLabel.LITTLE
+
+    def test_low_speedup_high_blocking_is_any(self):
+        """Non-critical requires BOTH low speedup and low blocking."""
+        task = task_with(speedup=1.1, blocking=3.0)
+        assert labeler().classify(task) is CoreLabel.ANY
+
+    def test_middle_speedup_is_any(self):
+        assert labeler().classify(task_with(speedup=1.6)) is CoreLabel.ANY
+
+    def test_custom_thresholds(self):
+        strict = labeler(speedup_high=2.5, speedup_low=1.2)
+        assert strict.classify(task_with(speedup=2.2)) is CoreLabel.ANY
+        assert strict.classify(task_with(speedup=1.1)) is CoreLabel.LITTLE
+
+
+class TestLabelPass:
+    def test_labels_and_estimates_updated(self):
+        machine_tasks = [
+            task_with(profile=FAST_PROFILE),
+            task_with(profile=SLOW_PROFILE),
+        ]
+        lab = labeler()
+        lab.label(machine_tasks)
+        assert machine_tasks[0].core_label is CoreLabel.BIG
+        assert machine_tasks[1].core_label is CoreLabel.LITTLE
+        assert lab.passes == 1
+
+    def test_done_tasks_keep_old_label(self):
+        task = task_with(profile=FAST_PROFILE)
+        task.mark_ready()
+        task.mark_running(0, "big")
+        task.mark_done(1.0)
+        lab = labeler()
+        lab.label([task])
+        assert task.core_label is CoreLabel.ANY  # untouched default
+
+    def test_blocking_updates_flow_into_labels(self):
+        task = task_with(profile=SLOW_PROFILE)
+        task.caused_wait_window = 5.0
+        lab = labeler()
+        lab.label([task])
+        # The blocking EMA (2.5) exceeds blocking_low, so not LITTLE.
+        assert task.core_label is CoreLabel.ANY

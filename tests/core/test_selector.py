@@ -1,0 +1,163 @@
+"""Biased-global thread selector tests (Algorithm 1, bottom half)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.colab import COLABScheduler
+from repro.core.selector import BiasedGlobalSelector
+from repro.kernel.task import CoreLabel
+from repro.model.speedup import OracleSpeedupModel
+from tests.conftest import make_machine, make_simple_task
+
+
+def colab_machine(n_big=2, n_little=2, **selector_kwargs):
+    selector = BiasedGlobalSelector(**selector_kwargs)
+    machine = make_machine(
+        n_big,
+        n_little,
+        scheduler=COLABScheduler(
+            estimator=OracleSpeedupModel(), selector=selector
+        ),
+    )
+    return machine, selector
+
+
+def queued(machine, core_index, name="q", blocking=0.0, vruntime=0.0,
+           label=CoreLabel.ANY, speedup=1.5):
+    task = make_simple_task(name)
+    task.mark_ready()
+    task.blocking_level = blocking
+    task.vruntime = vruntime
+    task.core_label = label
+    task.predicted_speedup = speedup
+    machine.cores[core_index].rq.enqueue(task)
+    return task
+
+
+def running_on(machine, core_index, name="r", blocking=0.0, speedup=1.5,
+               label=CoreLabel.ANY):
+    task = make_simple_task(name)
+    task.mark_ready()
+    task.blocking_level = blocking
+    task.predicted_speedup = speedup
+    task.core_label = label
+    core = machine.cores[core_index]
+    task.mark_running(core.core_id, core.kind.value)
+    core.current = task
+    core.run_started = 0.0
+    return task
+
+
+class TestLocalSelection:
+    def test_max_blocking_wins_locally(self):
+        machine, selector = colab_machine()
+        queued(machine, 0, "quiet", blocking=0.1)
+        loud = queued(machine, 0, "loud", blocking=9.0)
+        assert selector.pick(machine, machine.cores[0], 0.0) is loud
+        assert selector.decisions["local"] == 1
+
+    def test_starvation_guard_beats_blocking(self):
+        machine, selector = colab_machine(starvation_window=1.0)
+        starved = queued(machine, 0, "starved", blocking=0.0, vruntime=0.0)
+        queued(machine, 0, "hog", blocking=50.0, vruntime=10.0)
+        assert selector.pick(machine, machine.cores[0], 0.0) is starved
+
+    def test_blocking_reorders_within_window(self):
+        machine, selector = colab_machine(starvation_window=5.0)
+        queued(machine, 0, "a", blocking=1.0, vruntime=0.0)
+        loud = queued(machine, 0, "b", blocking=9.0, vruntime=3.0)
+        assert selector.pick(machine, machine.cores[0], 0.0) is loud
+
+    def test_big_core_prefers_big_label(self):
+        machine, selector = colab_machine()
+        queued(machine, 0, "bottleneck", blocking=9.0, label=CoreLabel.ANY)
+        sensitive = queued(machine, 0, "sensitive", blocking=0.0, label=CoreLabel.BIG)
+        assert selector.pick(machine, machine.cores[0], 0.0) is sensitive
+
+    def test_little_core_avoids_big_label(self):
+        machine, selector = colab_machine()
+        queued(machine, 2, "sensitive", blocking=9.0, label=CoreLabel.BIG)
+        other = queued(machine, 2, "other", blocking=0.5, label=CoreLabel.ANY)
+        assert selector.pick(machine, machine.cores[2], 0.0) is other
+
+    def test_label_blind_ablation(self):
+        machine, selector = colab_machine(label_aware=False)
+        bottleneck = queued(machine, 0, "bottleneck", blocking=9.0, label=CoreLabel.ANY)
+        queued(machine, 0, "sensitive", blocking=0.0, label=CoreLabel.BIG)
+        assert selector.pick(machine, machine.cores[0], 0.0) is bottleneck
+
+
+class TestBiasedGlobalSearch:
+    def test_cluster_before_other_cluster(self):
+        machine, selector = colab_machine()
+        in_cluster = queued(machine, 1, "same-kind", blocking=1.0)
+        queued(machine, 2, "other-kind", blocking=9.0)
+        assert selector.pick(machine, machine.cores[0], 0.0) is in_cluster
+        assert selector.decisions["cluster"] == 1
+
+    def test_global_steal_when_cluster_empty(self):
+        machine, selector = colab_machine()
+        remote = queued(machine, 3, "remote", blocking=2.0)
+        assert selector.pick(machine, machine.cores[0], 0.0) is remote
+        assert selector.decisions["global"] == 1
+
+    def test_little_steals_from_big_rq(self):
+        machine, selector = colab_machine()
+        task = queued(machine, 0, "spillover", blocking=1.0, label=CoreLabel.ANY)
+        assert selector.pick(machine, machine.cores[3], 0.0) is task
+
+    def test_idle_when_nothing_anywhere(self):
+        machine, selector = colab_machine()
+        assert selector.pick(machine, machine.cores[2], 0.0) is None
+        assert selector.decisions["idle"] == 1
+
+
+class TestLittlePreemption:
+    def test_big_core_accelerates_blocking_little_thread(self):
+        machine, selector = colab_machine()
+        victim = running_on(machine, 2, "victim", blocking=5.0)
+        picked = selector.pick(machine, machine.cores[0], 1.0)
+        assert picked is victim
+        assert selector.decisions["preempt_little"] == 1
+        assert machine.cores[2].current is None
+
+    def test_little_core_never_preempts(self):
+        machine, selector = colab_machine()
+        running_on(machine, 0, "on-big", blocking=5.0)
+        assert selector.pick(machine, machine.cores[3], 1.0) is None
+
+    def test_worthless_victim_left_alone(self):
+        machine, selector = colab_machine(preempt_min_speedup=2.0)
+        running_on(machine, 2, "meek", blocking=0.0, speedup=1.05)
+        assert selector.pick(machine, machine.cores[0], 1.0) is None
+
+    def test_high_speedup_victim_taken_even_without_blocking(self):
+        machine, selector = colab_machine(preempt_min_speedup=1.5)
+        victim = running_on(machine, 2, "fast", blocking=0.0, speedup=2.5)
+        assert selector.pick(machine, machine.cores[0], 1.0) is victim
+
+    def test_big_labeled_victim_taken(self):
+        machine, selector = colab_machine()
+        victim = running_on(
+            machine, 2, "lab", blocking=0.0, speedup=1.0, label=CoreLabel.BIG
+        )
+        assert selector.pick(machine, machine.cores[0], 1.0) is victim
+
+    def test_cooldown_prevents_ping_pong(self):
+        machine, selector = colab_machine(preempt_cooldown_ms=5.0)
+        victim = running_on(machine, 2, "victim", blocking=5.0)
+        assert selector.pick(machine, machine.cores[0], 1.0) is victim
+        # Victim resumes on the little core; big asks again too soon.
+        victim.mark_running(2, "little")
+        machine.cores[2].current = victim
+        machine.cores[2].run_started = 1.5
+        assert selector.pick(machine, machine.cores[1], 2.0) is None
+        # After the cooldown it is fair game again.
+        assert selector.pick(machine, machine.cores[1], 7.0) is victim
+
+    def test_most_blocking_victim_chosen(self):
+        machine, selector = colab_machine()
+        running_on(machine, 2, "mild", blocking=1.0)
+        heavy = running_on(machine, 3, "heavy", blocking=9.0)
+        assert selector.pick(machine, machine.cores[0], 1.0) is heavy

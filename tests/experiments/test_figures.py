@@ -1,0 +1,82 @@
+"""Figure driver tests at reduced scale (oracle model, tiny work units)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import multi_program, single_program
+from repro.experiments.runner import ExperimentContext
+from repro.model.speedup import OracleSpeedupModel
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        seed=13, work_scale=0.04, estimator=OracleSpeedupModel()
+    )
+
+
+class TestFigure4:
+    def test_subset_produces_all_schedulers(self, ctx):
+        results, figure = single_program.figure4(
+            ctx, benchmarks=("radix", "ferret"), config="2B2S"
+        )
+        assert len(results) == 2
+        assert set(results[0].h_ntt) == {"linux", "wash", "colab"}
+        assert figure.x_labels == ["radix", "ferret", "geomean"]
+
+    def test_h_ntt_at_least_one_ish(self, ctx):
+        """2B2S can never beat the 4-big baseline by much."""
+        results, _figure = single_program.figure4(
+            ctx, benchmarks=("lu_cb",), config="2B2S"
+        )
+        for value in results[0].h_ntt.values():
+            assert value > 0.8
+
+    def test_fig4_thread_counts_are_defaults(self):
+        from repro.workloads.benchmarks import BENCHMARKS
+
+        for name in single_program.FIG4_BENCHMARKS:
+            assert (
+                single_program.fig4_thread_count(name)
+                == BENCHMARKS[name].default_threads
+            )
+
+    def test_excluded_benchmarks_not_in_fig4(self):
+        for name in ("fmm", "water_nsquared", "water_spatial"):
+            assert name not in single_program.FIG4_BENCHMARKS
+        assert len(single_program.FIG4_BENCHMARKS) == 12
+
+
+class TestGroupedFigures:
+    def test_grouped_figure_structure(self, ctx):
+        panels = multi_program.grouped_figure(
+            ctx, "Test", ["sync"], schedulers=("colab",)
+        )
+        assert len(panels) == 2  # H_ANTT + H_STP
+        antt, stp = panels
+        assert "H_ANTT" in antt.title
+        assert "H_STP" in stp.title
+        # 4 configs + 1 geomean column
+        assert len(antt.x_labels) == 5
+        assert len(antt.series["colab"]) == 5
+
+    def test_geomean_column_is_geomean_of_configs(self, ctx):
+        from repro.metrics.turnaround import geomean
+
+        panels = multi_program.grouped_figure(
+            ctx, "Test", ["nsync"], schedulers=("colab",)
+        )
+        antt = panels[0]
+        values = antt.series["colab"]
+        assert values[-1] == pytest.approx(geomean(values[:4]))
+
+    def test_summary_counts_experiments(self, ctx):
+        result = multi_program.summary(ctx)
+        assert result.n_experiments == 26 * 4 * 3
+        # Improvements are fractions, not wild numbers.
+        assert -0.5 < result.colab_vs_linux_tat < 0.5
+        assert -0.5 < result.wash_vs_linux_tat < 0.5
+        text = result.render()
+        assert "COLAB vs Linux" in text
+        assert "WASH" in text

@@ -1,0 +1,44 @@
+"""Machine-checkable version of the paper's Figure 1 argument."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.motivating import run_motivating_example
+from repro.schedulers import make_scheduler
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        name: run_motivating_example(make_scheduler(name), work=20.0)
+        for name in ("linux", "wash", "colab")
+    }
+
+
+class TestMotivatingExample:
+    def test_all_applications_finish(self, outcomes):
+        for outcome in outcomes.values():
+            assert outcome.alpha > 0
+            assert outcome.beta > 0
+            assert outcome.gamma > 0
+
+    def test_colab_beats_the_mixed_heuristic_on_average(self, outcomes):
+        """The coordinated model's claimed advantage over WASH."""
+        assert outcomes["colab"].average < outcomes["wash"].average
+
+    def test_colab_beats_linux_on_average(self, outcomes):
+        assert outcomes["colab"].average < outcomes["linux"].average
+
+    def test_gamma_is_fast_under_colab(self, outcomes):
+        """γ (single high-speedup thread) belongs on the big core."""
+        colab = outcomes["colab"]
+        # gamma has 1.5x the work of the alpha hold phase but enjoys the
+        # big core; it should not be the slowest application.
+        assert colab.gamma < max(colab.alpha, colab.beta)
+
+    def test_beta_is_not_disproportionately_penalised(self, outcomes):
+        """COLAB loses β1's raw speed but avoids queueing: β under COLAB
+        must not be much slower than β under WASH (which pins blockers to
+        the contended big core)."""
+        assert outcomes["colab"].beta <= outcomes["wash"].beta * 1.15

@@ -1,0 +1,50 @@
+"""ASCII bar rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import FigureSeries, render_bars
+
+
+def panel():
+    figure = FigureSeries(
+        title="Demo", x_labels=["a", "b"], direction="lower is better"
+    )
+    figure.add("wash", [0.9, 1.1])
+    figure.add("colab", [0.8, 0.95])
+    return figure
+
+
+class TestRenderBars:
+    def test_contains_every_bar(self):
+        text = render_bars(panel())
+        assert text.count("#") > 0
+        for label in ("a wash", "a colab", "b wash", "b colab"):
+            assert label in text
+
+    def test_values_annotated(self):
+        text = render_bars(panel())
+        assert "0.800" in text
+        assert "1.100" in text
+
+    def test_reference_marker_present(self):
+        text = render_bars(panel(), reference=1.0)
+        assert "|" in text or "+" in text
+
+    def test_no_reference(self):
+        text = render_bars(panel(), reference=None)
+        assert "|" not in text
+
+    def test_longer_value_longer_bar(self):
+        text = render_bars(panel(), width=30)
+        lines = {line.strip().split()[0] + " " + line.strip().split()[1]: line
+                 for line in text.splitlines()[1:]}
+        bar_a_colab = lines["a colab"].count("#")
+        bar_b_wash = lines["b wash"].count("#")
+        assert bar_b_wash > bar_a_colab
+
+    def test_empty_series_rejected(self):
+        empty = FigureSeries(title="none", x_labels=["x"])
+        with pytest.raises(ValueError):
+            render_bars(empty)

@@ -1,0 +1,56 @@
+"""Plain-text report rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import FigureSeries, format_table, render_figures
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long-header"], [["xx", "1"], ["y", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert "long-header" in lines[0]
+        # all rows have equal rendered width
+        assert len(set(len(line.rstrip()) for line in lines)) >= 1
+        assert "--" in lines[1]
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["h"], [["wide-cell-value"]])
+        assert "wide-cell-value" in text
+
+
+class TestFigureSeries:
+    def test_add_and_render(self):
+        figure = FigureSeries(
+            title="Demo", x_labels=["a", "b"], direction="lower is better"
+        )
+        figure.add("linux", [1.0, 2.0])
+        text = figure.render()
+        assert "Demo" in text
+        assert "lower is better" in text
+        assert "1.000" in text
+        assert "2.000" in text
+
+    def test_mismatched_length_rejected(self):
+        figure = FigureSeries(title="Demo", x_labels=["a", "b"])
+        with pytest.raises(ValueError):
+            figure.add("linux", [1.0])
+
+    def test_custom_format(self):
+        figure = FigureSeries(title="Demo", x_labels=["a"])
+        figure.add("s", [0.123456])
+        assert "0.12" in figure.render(fmt="{:.2f}")
+
+    def test_render_figures_joins_panels(self):
+        f1 = FigureSeries(title="One", x_labels=["x"])
+        f1.add("s", [1.0])
+        f2 = FigureSeries(title="Two", x_labels=["x"])
+        f2.add("s", [2.0])
+        text = render_figures([f1, f2])
+        assert "One" in text
+        assert "Two" in text
+        assert "\n\n" in text

@@ -1,0 +1,52 @@
+"""Seed-sensitivity module tests (reduced probe, oracle model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.sensitivity import SensitivityReport, seed_sensitivity
+from repro.model.speedup import OracleSpeedupModel
+
+SMALL_PROBE = (("Sync-1", "2B2S"), ("NSync-1", "2B2S"))
+
+
+class TestSeedSensitivity:
+    def test_report_shape(self):
+        report = seed_sensitivity(
+            seeds=[1, 2],
+            work_scale=0.05,
+            probe=SMALL_PROBE,
+            estimator=OracleSpeedupModel(),
+        )
+        assert report.seeds == [1, 2]
+        assert len(report.colab_vs_linux) == 2
+        assert len(report.colab_vs_wash) == 2
+
+    def test_render_mentions_every_seed(self):
+        report = SensitivityReport(
+            seeds=[5, 7], colab_vs_linux=[0.1, 0.12], colab_vs_wash=[0.02, 0.04]
+        )
+        text = report.render()
+        assert "seed 5" in text
+        assert "seed 7" in text
+        assert "mean vs Linux" in text
+
+    def test_statistics(self):
+        report = SensitivityReport(
+            seeds=[1, 2], colab_vs_linux=[0.1, 0.2], colab_vs_wash=[0.0, 0.1]
+        )
+        assert report.mean_vs_linux == pytest.approx(0.15)
+        assert report.std_vs_linux > 0
+        assert report.mean_vs_wash == pytest.approx(0.05)
+
+    def test_single_seed_zero_std(self):
+        report = SensitivityReport(
+            seeds=[1], colab_vs_linux=[0.1], colab_vs_wash=[0.05]
+        )
+        assert report.std_vs_linux == 0.0
+        assert report.std_vs_wash == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ExperimentError):
+            seed_sensitivity(seeds=[], work_scale=0.05)

@@ -1,0 +1,90 @@
+"""Table regeneration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.tables import (
+    TABLE1_ROWS,
+    characterize_benchmark,
+    table1_related_work,
+    table4_workloads,
+)
+from repro.workloads.mixes import MIXES, PAPER_THREAD_COUNTS
+
+
+class TestTable1:
+    def test_colab_row_is_fully_checked(self):
+        colab = next(row for row in TABLE1_ROWS if row[0] == "COLAB")
+        assert colab[1:] == (True, True, True, True)
+
+    def test_only_colab_is_collaborative(self):
+        collaborative = [row[0] for row in TABLE1_ROWS if row[4]]
+        assert collaborative == ["COLAB"]
+
+    def test_wash_row_matches_paper(self):
+        wash = next(row for row in TABLE1_ROWS if "Jibaja" in row[0])
+        assert wash[1:] == (True, True, True, False)
+
+    def test_render_contains_all_approaches(self):
+        text = table1_related_work()
+        for row in TABLE1_ROWS:
+            assert row[0] in text
+
+
+class TestTable2:
+    def test_render_from_training_report(self):
+        from repro.model.training import train_speedup_model
+
+        _model, report = train_speedup_model(
+            seed=5,
+            work_scale=0.08,
+            n_cores=2,
+            benchmarks=["radix", "lu_cb", "blackscholes", "fluidanimate"],
+            replicas=1,
+            n_selected=3,
+        )
+        text = tables.table2_speedup_model(report)
+        assert "Table 2" in text
+        assert "speedup =" in text
+        assert "R^2" in text
+        for name in report.selected_counters:
+            assert name in text
+
+
+class TestTable3:
+    def test_fluidanimate_measures_very_high_sync(self):
+        ch = characterize_benchmark("fluidanimate", seed=1, work_scale=0.2)
+        assert ch.measured_sync_class == "very high"
+        assert ch.paper_sync_class == "very high"
+
+    def test_blackscholes_measures_low_sync_high_comm(self):
+        ch = characterize_benchmark("blackscholes", seed=1, work_scale=0.2)
+        assert ch.measured_sync_class == "low"
+        assert ch.measured_comm_class == "high"
+
+    def test_lu_cb_low_comm(self):
+        ch = characterize_benchmark("lu_cb", seed=1, work_scale=0.2)
+        assert ch.measured_comm_class == "low"
+
+    def test_sync_ordering_ferret_above_blackscholes(self):
+        ferret = characterize_benchmark("ferret", seed=1, work_scale=0.2)
+        blackscholes = characterize_benchmark("blackscholes", seed=1, work_scale=0.2)
+        assert (
+            ferret.sync_events_per_second
+            > blackscholes.sync_events_per_second
+        )
+
+
+class TestTable4:
+    def test_render_lists_every_mix(self):
+        text = table4_workloads()
+        for index in MIXES:
+            assert index in text
+
+    def test_rendered_totals_match_paper(self):
+        text = table4_workloads()
+        for index, total in PAPER_THREAD_COUNTS.items():
+            row = next(line for line in text.splitlines() if line.startswith(index + " "))
+            assert f" {total} " in " " + " ".join(row.split()) + " "

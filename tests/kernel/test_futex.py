@@ -1,0 +1,130 @@
+"""Futex wait/wake and caused-wait (criticality) accounting tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.futex import FutexTable, new_futex_id
+from tests.conftest import make_simple_task
+
+
+def sleeping_task(name="t"):
+    task = make_simple_task(name=name)
+    task.mark_ready()
+    task.mark_running(0, "big")
+    return task
+
+
+def park(table, task, futex_id, now):
+    """Wait + transition to SLEEPING, as the machine does."""
+    table.wait(task, futex_id, now)
+    task.mark_sleeping()
+
+
+class TestWaitWake:
+    def test_new_futex_ids_unique(self):
+        assert new_futex_id() != new_futex_id()
+
+    def test_wait_records_timestamp(self):
+        table = FutexTable()
+        task = sleeping_task()
+        park(table, task, 7, now=3.0)
+        assert task.wait_started_at == 3.0
+        assert table.waiter_count(7) == 1
+        assert table.total_waits == 1
+
+    def test_double_wait_rejected(self):
+        table = FutexTable()
+        task = sleeping_task()
+        park(table, task, 7, now=3.0)
+        with pytest.raises(KernelError):
+            table.wait(task, 8, now=4.0)
+
+    def test_wake_charges_waker_with_wait_time(self):
+        table = FutexTable()
+        waker = sleeping_task("waker")
+        waiter = sleeping_task("waiter")
+        park(table, waiter, 7, now=2.0)
+        woken = table.wake(waker, 7, now=10.0)
+        assert woken == [waiter]
+        assert waker.caused_wait_time == pytest.approx(8.0)
+        assert waker.caused_wait_window == pytest.approx(8.0)
+        assert waiter.own_wait_time == pytest.approx(8.0)
+        assert waiter.wait_started_at is None
+
+    def test_wake_is_fifo(self):
+        table = FutexTable()
+        first = sleeping_task("first")
+        second = sleeping_task("second")
+        park(table, first, 7, now=0.0)
+        park(table, second, 7, now=1.0)
+        woken = table.wake(None, 7, now=5.0, count=1)
+        assert woken == [first]
+        assert table.waiters(7) == [second]
+
+    def test_wake_count_limits(self):
+        table = FutexTable()
+        tasks = [sleeping_task(f"t{i}") for i in range(4)]
+        for i, task in enumerate(tasks):
+            park(table, task, 7, now=float(i))
+        woken = table.wake(None, 7, now=10.0, count=2)
+        assert woken == tasks[:2]
+        assert table.waiter_count(7) == 2
+
+    def test_wake_all(self):
+        table = FutexTable()
+        tasks = [sleeping_task(f"t{i}") for i in range(3)]
+        for task in tasks:
+            park(table, task, 7, now=0.0)
+        waker = sleeping_task("waker")
+        woken = table.wake_all(waker, 7, now=4.0)
+        assert woken == tasks
+        assert waker.caused_wait_time == pytest.approx(12.0)
+        assert not table.any_waiters()
+
+    def test_wake_empty_futex_returns_nothing(self):
+        table = FutexTable()
+        assert table.wake(None, 99, now=1.0) == []
+
+    def test_wake_accumulates_across_episodes(self):
+        table = FutexTable()
+        waker = sleeping_task("waker")
+        waiter = sleeping_task("waiter")
+        park(table, waiter, 7, now=0.0)
+        table.wake(waker, 7, now=3.0)
+        waiter.mark_ready()
+        waiter.mark_running(0, "big")
+        park(table, waiter, 7, now=5.0)
+        table.wake(waker, 7, now=6.0)
+        assert waker.caused_wait_time == pytest.approx(4.0)
+
+    def test_wake_requires_sleeping_state(self):
+        table = FutexTable()
+        task = sleeping_task()
+        table.wait(task, 7, now=0.0)  # forgot to mark_sleeping
+        with pytest.raises(KernelError):
+            table.wake(None, 7, now=1.0)
+
+    def test_window_resets_independently_of_total(self):
+        table = FutexTable()
+        waker = sleeping_task("waker")
+        waiter = sleeping_task("waiter")
+        park(table, waiter, 7, now=0.0)
+        table.wake(waker, 7, now=5.0)
+        waker.caused_wait_window = 0.0  # labeler reads and resets
+        assert waker.caused_wait_time == pytest.approx(5.0)
+
+    def test_counters_record_quiesce_on_wake(self):
+        from repro.sim.counters import PerformanceCounters
+        import numpy as np
+        from tests.conftest import NEUTRAL_PROFILE
+
+        table = FutexTable()
+        waiter = sleeping_task("waiter")
+        waiter.counters = PerformanceCounters(
+            profile=NEUTRAL_PROFILE, rng=np.random.default_rng(0)
+        )
+        park(table, waiter, 7, now=0.0)
+        table.wake(None, 7, now=4.0)
+        assert waiter.counters.totals["quiesceCycles"] > 0

@@ -1,0 +1,197 @@
+"""Unit and property-based tests for the red-black tree (CFS timeline)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.rbtree import RBTree
+
+
+def make_tree(pairs):
+    tree = RBTree()
+    for key, value in pairs:
+        tree.insert(key, value)
+    return tree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RBTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.leftmost() is None
+        assert tree.pop_leftmost() is None
+        assert list(tree.items()) == []
+
+    def test_single_insert(self):
+        tree = RBTree()
+        tree.insert((1.0, 1), "a")
+        assert len(tree) == 1
+        assert tree.leftmost() == ((1.0, 1), "a")
+        assert (1.0, 1) in tree
+
+    def test_insert_many_ordered_iteration(self):
+        keys = [(float(i), i) for i in (5, 3, 8, 1, 9, 2, 7, 4, 6, 0)]
+        tree = make_tree((k, k[1]) for k in keys)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_duplicate_key_rejected(self):
+        tree = make_tree([((1.0, 1), "a")])
+        with pytest.raises(KeyError):
+            tree.insert((1.0, 1), "b")
+
+    def test_same_float_different_tiebreak_allowed(self):
+        tree = RBTree()
+        tree.insert((1.0, 1), "a")
+        tree.insert((1.0, 2), "b")
+        assert len(tree) == 2
+        assert tree.leftmost() == ((1.0, 1), "a")
+
+    def test_get(self):
+        tree = make_tree([((1.0, 1), "a"), ((2.0, 2), "b")])
+        assert tree.get((2.0, 2)) == "b"
+        assert tree.get((3.0, 3)) is None
+        assert tree.get((3.0, 3), "x") == "x"
+
+    def test_remove_returns_value(self):
+        tree = make_tree([((1.0, 1), "a"), ((2.0, 2), "b")])
+        assert tree.remove((1.0, 1)) == "a"
+        assert len(tree) == 1
+        assert (1.0, 1) not in tree
+
+    def test_remove_missing_raises(self):
+        tree = RBTree()
+        with pytest.raises(KeyError):
+            tree.remove((1.0, 1))
+
+    def test_pop_leftmost_order(self):
+        keys = [(float(i), i) for i in (4, 2, 6, 1, 3, 5, 7)]
+        tree = make_tree((k, k[1]) for k in keys)
+        popped = []
+        while tree:
+            popped.append(tree.pop_leftmost()[0])
+        assert popped == sorted(keys)
+
+    def test_clear(self):
+        tree = make_tree([((float(i), i), i) for i in range(10)])
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.leftmost() is None
+        tree.insert((1.0, 1), "a")
+        assert len(tree) == 1
+
+    def test_keys_and_values(self):
+        tree = make_tree([((2.0, 2), "b"), ((1.0, 1), "a")])
+        assert list(tree.keys()) == [(1.0, 1), (2.0, 2)]
+        assert list(tree.values()) == ["a", "b"]
+
+    def test_leftmost_updates_on_smaller_insert(self):
+        tree = make_tree([((5.0, 5), 5)])
+        tree.insert((1.0, 1), 1)
+        assert tree.leftmost()[0] == (1.0, 1)
+
+    def test_leftmost_updates_on_removal(self):
+        tree = make_tree([((1.0, 1), 1), ((2.0, 2), 2), ((3.0, 3), 3)])
+        tree.remove((1.0, 1))
+        assert tree.leftmost()[0] == (2.0, 2)
+
+    def test_invariants_after_sequential_ops(self):
+        tree = RBTree()
+        for i in range(100):
+            tree.insert((float(i % 17), i), i)
+            tree.check_invariants()
+        for i in range(0, 100, 3):
+            tree.remove((float(i % 17), i))
+            tree.check_invariants()
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(-1e6, 1e6), st.integers(0, 10_000)),
+            unique_by=lambda pair: pair,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_model(self, pairs):
+        """Tree iteration always equals the sorted reference model."""
+        tree = RBTree()
+        model = {}
+        for key in pairs:
+            tree.insert(key, key[1])
+            model[key] = key[1]
+            tree.check_invariants()
+        assert [k for k, _ in tree.items()] == sorted(model)
+        assert len(tree) == len(model)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-1e3, 1e3), st.integers(0, 500)),
+            unique_by=lambda pair: pair,
+            min_size=1,
+            max_size=120,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_removals_keep_invariants(self, pairs, data):
+        """Removing any subset in any order preserves the RB invariants."""
+        tree = RBTree()
+        for key in pairs:
+            tree.insert(key, None)
+        remaining = list(pairs)
+        n_remove = data.draw(st.integers(0, len(remaining)))
+        for _ in range(n_remove):
+            index = data.draw(st.integers(0, len(remaining) - 1))
+            key = remaining.pop(index)
+            tree.remove(key)
+            tree.check_invariants()
+        assert [k for k, _ in tree.items()] == sorted(remaining)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100), st.integers(0, 100)),
+            unique_by=lambda pair: pair,
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pop_leftmost_is_total_sort(self, pairs):
+        tree = RBTree()
+        for key in pairs:
+            tree.insert(key, None)
+        popped = []
+        while tree:
+            popped.append(tree.pop_leftmost()[0])
+            tree.check_invariants()
+        assert popped == sorted(pairs)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100), st.integers(0, 100)),
+            unique_by=lambda pair: pair,
+            min_size=2,
+            max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_insert_remove(self, pairs):
+        """Insert half, remove a quarter, insert the rest: model still agrees."""
+        half = len(pairs) // 2
+        tree = RBTree()
+        model = set()
+        for key in pairs[:half]:
+            tree.insert(key, None)
+            model.add(key)
+        for key in pairs[: half // 2]:
+            tree.remove(key)
+            model.discard(key)
+        for key in pairs[half:]:
+            tree.insert(key, None)
+            model.add(key)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == sorted(model)

@@ -1,0 +1,248 @@
+"""Synchronisation primitive tests (mutex, barrier, condvar, pipe)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.futex import FutexTable
+from repro.kernel.sync import BLOCKED, Barrier, CondVar, Mutex, Pipe
+from tests.conftest import make_simple_task
+
+
+def running_task(name="t"):
+    task = make_simple_task(name=name)
+    task.mark_ready()
+    task.mark_running(0, "big")
+    return task
+
+
+@pytest.fixture
+def table():
+    return FutexTable()
+
+
+class TestMutex:
+    def test_uncontended_acquire(self, table):
+        lock = Mutex(table)
+        holder = running_task("holder")
+        assert lock.acquire(holder, now=0.0) is None
+        assert lock.owner is holder
+        assert lock.contended_acquires == 0
+
+    def test_contended_acquire_blocks(self, table):
+        lock = Mutex(table)
+        holder = running_task("holder")
+        waiter = running_task("waiter")
+        lock.acquire(holder, now=0.0)
+        assert lock.acquire(waiter, now=1.0) == BLOCKED
+        waiter.mark_sleeping()
+        assert lock.contended_acquires == 1
+
+    def test_release_hands_off_fifo(self, table):
+        lock = Mutex(table)
+        holder = running_task("holder")
+        first = running_task("first")
+        second = running_task("second")
+        lock.acquire(holder, now=0.0)
+        lock.acquire(first, now=1.0)
+        first.mark_sleeping()
+        lock.acquire(second, now=2.0)
+        second.mark_sleeping()
+        woken = lock.release(holder, now=3.0)
+        assert woken == [first]
+        assert lock.owner is first  # direct hand-off, no re-acquire
+
+    def test_release_without_waiters_frees_lock(self, table):
+        lock = Mutex(table)
+        holder = running_task()
+        lock.acquire(holder, now=0.0)
+        assert lock.release(holder, now=1.0) == []
+        assert lock.owner is None
+
+    def test_release_by_non_owner_rejected(self, table):
+        lock = Mutex(table)
+        holder = running_task("holder")
+        imposter = running_task("imposter")
+        lock.acquire(holder, now=0.0)
+        with pytest.raises(KernelError, match="imposter"):
+            lock.release(imposter, now=1.0)
+
+    def test_release_unheld_rejected(self, table):
+        lock = Mutex(table)
+        with pytest.raises(KernelError):
+            lock.release(running_task(), now=0.0)
+
+    def test_reacquire_by_owner_rejected(self, table):
+        lock = Mutex(table)
+        holder = running_task()
+        lock.acquire(holder, now=0.0)
+        with pytest.raises(KernelError):
+            lock.acquire(holder, now=1.0)
+
+    def test_release_charges_caused_wait(self, table):
+        lock = Mutex(table)
+        holder = running_task("holder")
+        waiter = running_task("waiter")
+        lock.acquire(holder, now=0.0)
+        lock.acquire(waiter, now=2.0)
+        waiter.mark_sleeping()
+        lock.release(holder, now=9.0)
+        assert holder.caused_wait_time == pytest.approx(7.0)
+
+
+class TestBarrier:
+    def test_single_party_never_blocks(self, table):
+        barrier = Barrier(table, parties=1)
+        task = running_task()
+        assert barrier.arrive(task, now=0.0) == []
+        assert barrier.generations == 1
+
+    def test_all_but_last_block(self, table):
+        barrier = Barrier(table, parties=3)
+        a, b, c = (running_task(n) for n in "abc")
+        assert barrier.arrive(a, now=0.0) == BLOCKED
+        a.mark_sleeping()
+        assert barrier.arrive(b, now=1.0) == BLOCKED
+        b.mark_sleeping()
+        woken = barrier.arrive(c, now=5.0)
+        assert woken == [a, b]
+
+    def test_last_arriver_charged_cumulative_wait(self, table):
+        barrier = Barrier(table, parties=3)
+        a, b, c = (running_task(n) for n in "abc")
+        barrier.arrive(a, now=0.0)
+        a.mark_sleeping()
+        barrier.arrive(b, now=2.0)
+        b.mark_sleeping()
+        barrier.arrive(c, now=10.0)
+        assert c.caused_wait_time == pytest.approx(10.0 + 8.0)
+
+    def test_barrier_is_cyclic(self, table):
+        barrier = Barrier(table, parties=2)
+        a, b = running_task("a"), running_task("b")
+        barrier.arrive(a, now=0.0)
+        a.mark_sleeping()
+        barrier.arrive(b, now=1.0)
+        a.mark_ready()
+        a.mark_running(0, "big")
+        # second generation reuses the same object
+        barrier.arrive(b, now=2.0)
+        b.mark_sleeping()
+        woken = barrier.arrive(a, now=3.0)
+        assert woken == [b]
+        assert barrier.generations == 2
+
+    def test_zero_parties_rejected(self, table):
+        with pytest.raises(KernelError):
+            Barrier(table, parties=0)
+
+
+class TestCondVar:
+    def test_wait_always_blocks(self, table):
+        cv = CondVar(table)
+        task = running_task()
+        assert cv.wait(task, now=0.0) == BLOCKED
+
+    def test_signal_wakes_one(self, table):
+        cv = CondVar(table)
+        a, b = running_task("a"), running_task("b")
+        cv.wait(a, now=0.0)
+        a.mark_sleeping()
+        cv.wait(b, now=1.0)
+        b.mark_sleeping()
+        signaller = running_task("s")
+        assert cv.signal(signaller, now=2.0) == [a]
+
+    def test_broadcast_wakes_all(self, table):
+        cv = CondVar(table)
+        tasks = [running_task(str(i)) for i in range(3)]
+        for t in tasks:
+            cv.wait(t, now=0.0)
+            t.mark_sleeping()
+        assert cv.broadcast(running_task("s"), now=1.0) == tasks
+
+    def test_signal_without_waiters(self, table):
+        cv = CondVar(table)
+        assert cv.signal(running_task(), now=0.0) == []
+
+
+class TestPipe:
+    def test_put_then_get(self, table):
+        pipe = Pipe(table, capacity=4)
+        producer = running_task("p")
+        consumer = running_task("c")
+        assert pipe.put(producer, "item", now=0.0) == []
+        item, woken = pipe.get(consumer, now=1.0)
+        assert item == "item"
+        assert woken == []
+
+    def test_get_on_empty_blocks_and_receives_delivery(self, table):
+        pipe = Pipe(table, capacity=4)
+        consumer = running_task("c")
+        producer = running_task("p")
+        assert pipe.get(consumer, now=0.0) == BLOCKED
+        consumer.mark_sleeping()
+        woken = pipe.put(producer, "direct", now=3.0)
+        assert woken == [consumer]
+        assert pipe.collect_delivery(consumer) == "direct"
+
+    def test_collect_without_delivery_rejected(self, table):
+        pipe = Pipe(table, capacity=1)
+        with pytest.raises(KernelError):
+            pipe.collect_delivery(running_task())
+
+    def test_put_on_full_blocks(self, table):
+        pipe = Pipe(table, capacity=1)
+        producer = running_task("p")
+        assert pipe.put(producer, 1, now=0.0) == []
+        blocked_producer = running_task("p2")
+        assert pipe.put(blocked_producer, 2, now=1.0) == BLOCKED
+        blocked_producer.mark_sleeping()
+        consumer = running_task("c")
+        item, woken = pipe.get(consumer, now=2.0)
+        assert item == 1
+        assert woken == [blocked_producer]
+        # the blocked producer's item entered the buffer on hand-off
+        item2, _ = pipe.get(consumer, now=3.0)
+        assert item2 == 2
+
+    def test_fifo_ordering(self, table):
+        pipe = Pipe(table, capacity=8)
+        producer = running_task("p")
+        for i in range(5):
+            pipe.put(producer, i, now=0.0)
+        consumer = running_task("c")
+        got = [pipe.get(consumer, now=1.0)[0] for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_validation(self, table):
+        with pytest.raises(KernelError):
+            Pipe(table, capacity=0)
+
+    def test_len_tracks_buffer(self, table):
+        pipe = Pipe(table, capacity=4)
+        producer = running_task("p")
+        pipe.put(producer, 1, now=0.0)
+        pipe.put(producer, 2, now=0.0)
+        assert len(pipe) == 2
+
+    def test_put_wait_charged_to_consumer(self, table):
+        pipe = Pipe(table, capacity=1)
+        producer = running_task("p")
+        pipe.put(producer, 1, now=0.0)
+        blocked = running_task("p2")
+        pipe.put(blocked, 2, now=1.0)
+        blocked.mark_sleeping()
+        consumer = running_task("c")
+        pipe.get(consumer, now=6.0)
+        assert consumer.caused_wait_time == pytest.approx(5.0)
+
+    def test_get_wait_charged_to_producer(self, table):
+        pipe = Pipe(table, capacity=2)
+        consumer = running_task("c")
+        pipe.get(consumer, now=0.0)
+        consumer.mark_sleeping()
+        producer = running_task("p")
+        pipe.put(producer, 1, now=4.0)
+        assert producer.caused_wait_time == pytest.approx(4.0)

@@ -1,0 +1,223 @@
+"""Semaphore and readers/writer lock tests (unit + machine-level)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.futex import FutexTable
+from repro.kernel.sync import BLOCKED, RWLock, Semaphore
+from repro.kernel.task import Task
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.topology import make_topology
+from repro.workloads.actions import (
+    Compute,
+    ReadAcquire,
+    ReadRelease,
+    SemAcquire,
+    SemRelease,
+    WriteAcquire,
+    WriteRelease,
+)
+from tests.conftest import NEUTRAL_PROFILE, make_machine, make_simple_task
+
+FREE = dict(context_switch_cost=0.0, migration_cost=0.0)
+
+
+def running_task(name="t"):
+    task = make_simple_task(name=name)
+    task.mark_ready()
+    task.mark_running(0, "big")
+    return task
+
+
+@pytest.fixture
+def table():
+    return FutexTable()
+
+
+class TestSemaphoreUnit:
+    def test_permits_consumed_and_returned(self, table):
+        sem = Semaphore(table, permits=2)
+        a, b = running_task("a"), running_task("b")
+        assert sem.acquire(a, 0.0) is None
+        assert sem.acquire(b, 0.0) is None
+        assert sem.permits == 0
+        assert sem.release(a, 1.0) == []
+        assert sem.permits == 1
+
+    def test_exhausted_blocks(self, table):
+        sem = Semaphore(table, permits=1)
+        a, b = running_task("a"), running_task("b")
+        sem.acquire(a, 0.0)
+        assert sem.acquire(b, 1.0) == BLOCKED
+        b.mark_sleeping()
+        assert sem.contended_acquires == 1
+
+    def test_release_hands_permit_to_waiter(self, table):
+        sem = Semaphore(table, permits=1)
+        a, b = running_task("a"), running_task("b")
+        sem.acquire(a, 0.0)
+        sem.acquire(b, 1.0)
+        b.mark_sleeping()
+        woken = sem.release(a, 5.0)
+        assert woken == [b]
+        assert sem.permits == 0  # handed off, never banked
+        assert a.caused_wait_time == pytest.approx(4.0)
+
+    def test_negative_permits_rejected(self, table):
+        with pytest.raises(KernelError):
+            Semaphore(table, permits=-1)
+
+    def test_zero_permit_semaphore_as_signal(self, table):
+        sem = Semaphore(table, permits=0)
+        waiter = running_task("w")
+        assert sem.acquire(waiter, 0.0) == BLOCKED
+        waiter.mark_sleeping()
+        signaller = running_task("s")
+        assert sem.release(signaller, 2.0) == [waiter]
+
+
+class TestRWLockUnit:
+    def test_readers_share(self, table):
+        rw = RWLock(table)
+        a, b = running_task("a"), running_task("b")
+        assert rw.acquire_read(a, 0.0) is None
+        assert rw.acquire_read(b, 0.0) is None
+        assert len(rw.readers) == 2
+
+    def test_writer_excludes_readers(self, table):
+        rw = RWLock(table)
+        writer, reader = running_task("w"), running_task("r")
+        assert rw.acquire_write(writer, 0.0) is None
+        assert rw.acquire_read(reader, 1.0) == BLOCKED
+        reader.mark_sleeping()
+
+    def test_readers_block_writer(self, table):
+        rw = RWLock(table)
+        reader, writer = running_task("r"), running_task("w")
+        rw.acquire_read(reader, 0.0)
+        assert rw.acquire_write(writer, 1.0) == BLOCKED
+        writer.mark_sleeping()
+
+    def test_last_reader_admits_writer(self, table):
+        rw = RWLock(table)
+        r1, r2, writer = running_task("r1"), running_task("r2"), running_task("w")
+        rw.acquire_read(r1, 0.0)
+        rw.acquire_read(r2, 0.0)
+        rw.acquire_write(writer, 1.0)
+        writer.mark_sleeping()
+        assert rw.release_read(r1, 2.0) == []
+        woken = rw.release_read(r2, 3.0)
+        assert woken == [writer]
+        assert rw.writer is writer
+
+    def test_writer_preference_blocks_new_readers(self, table):
+        rw = RWLock(table)
+        r1, writer, r2 = running_task("r1"), running_task("w"), running_task("r2")
+        rw.acquire_read(r1, 0.0)
+        rw.acquire_write(writer, 1.0)
+        writer.mark_sleeping()
+        # A new reader must queue behind the waiting writer.
+        assert rw.acquire_read(r2, 2.0) == BLOCKED
+        r2.mark_sleeping()
+
+    def test_write_release_admits_all_readers(self, table):
+        rw = RWLock(table)
+        writer, r1, r2 = running_task("w"), running_task("r1"), running_task("r2")
+        rw.acquire_write(writer, 0.0)
+        rw.acquire_read(r1, 1.0)
+        r1.mark_sleeping()
+        rw.acquire_read(r2, 1.0)
+        r2.mark_sleeping()
+        woken = rw.release_write(writer, 5.0)
+        assert set(woken) == {r1, r2}
+        assert rw.readers == {r1.tid, r2.tid}
+
+    def test_double_acquire_rejected(self, table):
+        rw = RWLock(table)
+        task = running_task()
+        rw.acquire_read(task, 0.0)
+        with pytest.raises(KernelError):
+            rw.acquire_read(task, 1.0)
+
+    def test_release_without_hold_rejected(self, table):
+        rw = RWLock(table)
+        with pytest.raises(KernelError):
+            rw.release_read(running_task(), 0.0)
+        with pytest.raises(KernelError):
+            rw.release_write(running_task(), 0.0)
+
+
+class TestMachineIntegration:
+    def test_semaphore_limits_concurrency(self):
+        """A 1-permit semaphore serialises; 2 cores don't help."""
+        machine = make_machine(2, 0, **FREE)
+        sem = Semaphore(machine.futexes, permits=1)
+
+        def worker():
+            yield SemAcquire(sem)
+            yield Compute(5.0)
+            yield SemRelease(sem)
+
+        for i in range(2):
+            machine.add_task(Task(f"w{i}", i, worker(), NEUTRAL_PROFILE))
+        result = machine.run()
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_two_permit_semaphore_allows_parallelism(self):
+        machine = make_machine(2, 0, **FREE)
+        sem = Semaphore(machine.futexes, permits=2)
+
+        def worker():
+            yield SemAcquire(sem)
+            yield Compute(5.0)
+            yield SemRelease(sem)
+
+        for i in range(2):
+            machine.add_task(Task(f"w{i}", i, worker(), NEUTRAL_PROFILE))
+        result = machine.run()
+        assert result.makespan == pytest.approx(5.0)
+
+    def test_rwlock_readers_run_concurrently(self):
+        machine = make_machine(2, 0, **FREE)
+        rw = RWLock(machine.futexes)
+
+        def reader():
+            yield ReadAcquire(rw)
+            yield Compute(5.0)
+            yield ReadRelease(rw)
+
+        for i in range(2):
+            machine.add_task(Task(f"r{i}", i, reader(), NEUTRAL_PROFILE))
+        result = machine.run()
+        assert result.makespan == pytest.approx(5.0)
+
+    def test_rwlock_writer_serialises_with_readers(self):
+        from repro.schedulers.cfs import CFSScheduler
+
+        machine = Machine(
+            make_topology(2, 0),
+            CFSScheduler(),
+            MachineConfig(seed=0, **FREE),
+        )
+        rw = RWLock(machine.futexes)
+
+        def writer():
+            yield WriteAcquire(rw)
+            yield Compute(4.0)
+            yield WriteRelease(rw)
+
+        def reader():
+            yield Compute(0.5)  # arrive after the writer grabbed the lock
+            yield ReadAcquire(rw)
+            yield Compute(2.0)
+            yield ReadRelease(rw)
+
+        machine.add_task(Task("writer", 0, writer(), NEUTRAL_PROFILE))
+        machine.add_task(Task("reader", 1, reader(), NEUTRAL_PROFILE))
+        result = machine.run()
+        # Reader waits for the writer: 4 (write) + 2 (read) sequentially.
+        assert result.makespan == pytest.approx(6.0, abs=0.2)
+        reader_task = next(t for t in machine.tasks if t.name == "reader")
+        assert reader_task.own_wait_time > 3.0

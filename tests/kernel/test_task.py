@@ -1,0 +1,141 @@
+"""Task state machine and bookkeeping tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel.task import CoreLabel, Task, TaskState
+from tests.conftest import NEUTRAL_PROFILE, make_simple_task
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        task = make_simple_task()
+        assert task.state is TaskState.NEW
+        assert not task.is_runnable
+        assert not task.is_running
+        assert not task.is_done
+
+    def test_new_to_ready(self):
+        task = make_simple_task()
+        task.mark_ready()
+        assert task.state is TaskState.READY
+        assert task.is_runnable
+
+    def test_ready_to_running(self):
+        task = make_simple_task()
+        task.mark_ready()
+        task.mark_running(2, "big")
+        assert task.state is TaskState.RUNNING
+        assert task.running_on == 2
+        assert task.last_core_kind == "big"
+
+    def test_running_to_sleeping(self):
+        task = make_simple_task()
+        task.mark_ready()
+        task.mark_running(0, "little")
+        task.mark_sleeping()
+        assert task.state is TaskState.SLEEPING
+        assert task.running_on is None
+
+    def test_sleeping_to_ready(self):
+        task = make_simple_task()
+        task.mark_ready()
+        task.mark_running(0, "big")
+        task.mark_sleeping()
+        task.mark_ready()
+        assert task.is_runnable
+
+    def test_running_to_done_records_finish_time(self):
+        task = make_simple_task()
+        task.mark_ready()
+        task.mark_running(0, "big")
+        task.mark_done(now=12.5)
+        assert task.is_done
+        assert task.finish_time == 12.5
+
+    def test_cannot_run_from_new(self):
+        task = make_simple_task()
+        with pytest.raises(KernelError):
+            task.mark_running(0, "big")
+
+    def test_cannot_sleep_when_ready(self):
+        task = make_simple_task()
+        task.mark_ready()
+        with pytest.raises(KernelError):
+            task.mark_sleeping()
+
+    def test_cannot_finish_when_sleeping(self):
+        task = make_simple_task()
+        task.mark_ready()
+        task.mark_running(0, "big")
+        task.mark_sleeping()
+        with pytest.raises(KernelError):
+            task.mark_done(now=1.0)
+
+    def test_cannot_ready_a_done_task(self):
+        task = make_simple_task()
+        task.mark_ready()
+        task.mark_running(0, "big")
+        task.mark_done(now=1.0)
+        with pytest.raises(KernelError):
+            task.mark_ready()
+
+    def test_error_message_names_task(self):
+        task = make_simple_task(name="victim")
+        with pytest.raises(KernelError, match="victim"):
+            task.mark_sleeping()
+
+
+class TestBookkeeping:
+    def test_tids_are_unique_and_increasing(self):
+        a = make_simple_task("a")
+        b = make_simple_task("b")
+        assert b.tid == a.tid + 1
+
+    def test_affinity_unset_allows_everything(self):
+        task = make_simple_task()
+        assert task.allows_core(0)
+        assert task.allows_core(99)
+
+    def test_affinity_mask_restricts(self):
+        task = make_simple_task()
+        task.affinity = frozenset({1, 3})
+        assert task.allows_core(1)
+        assert task.allows_core(3)
+        assert not task.allows_core(0)
+
+    def test_default_label_is_any(self):
+        assert make_simple_task().core_label is CoreLabel.ANY
+
+    def test_true_speedup_uses_profile_by_default(self):
+        task = make_simple_task(profile=NEUTRAL_PROFILE)
+        assert task.true_speedup() == pytest.approx(NEUTRAL_PROFILE.speedup())
+
+    def test_true_speedup_prefers_segment_override(self):
+        from repro.workloads.actions import Compute
+
+        task = make_simple_task(profile=NEUTRAL_PROFILE)
+        task.current_segment = Compute(1.0, speedup=2.5)
+        assert task.true_speedup() == 2.5
+
+    def test_segment_without_override_falls_back(self):
+        from repro.workloads.actions import Compute
+
+        task = make_simple_task(profile=NEUTRAL_PROFILE)
+        task.current_segment = Compute(1.0)
+        assert task.true_speedup() == pytest.approx(NEUTRAL_PROFILE.speedup())
+
+    def test_initial_accounting_zero(self):
+        task = make_simple_task()
+        assert task.vruntime == 0.0
+        assert task.sum_exec_runtime == 0.0
+        assert task.caused_wait_time == 0.0
+        assert task.exec_time_by_kind == {"big": 0.0, "little": 0.0}
+
+    def test_repr_contains_name_and_state(self):
+        task = make_simple_task(name="repr-me")
+        text = repr(task)
+        assert "repr-me" in text
+        assert "new" in text

@@ -1,0 +1,53 @@
+"""Isolated big-only baseline cache tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.baselines import BaselineCache
+from repro.workloads.mixes import MIXES
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return BaselineCache(seed=3, work_scale=0.05)
+
+
+class TestBaselineCache:
+    def test_positive_turnaround(self, cache):
+        value = cache.isolated_turnaround("radix", 2, 4)
+        assert value > 0
+
+    def test_memoised(self, cache, monkeypatch):
+        cache.isolated_turnaround("fft", 2, 4)
+        calls = []
+
+        def boom(*args, **kwargs):
+            calls.append(args)
+            raise AssertionError("re-measured a cached baseline")
+
+        monkeypatch.setattr(cache, "_measure", boom)
+        cache.isolated_turnaround("fft", 2, 4)
+        assert not calls
+
+    def test_distinct_keys_distinct_entries(self, cache):
+        two = cache.isolated_turnaround("lu_cb", 2, 4)
+        four = cache.isolated_turnaround("lu_cb", 4, 4)
+        assert two != four
+
+    def test_more_cores_not_slower(self, cache):
+        narrow = cache.isolated_turnaround("blackscholes", 4, 2)
+        wide = cache.isolated_turnaround("blackscholes", 4, 8)
+        assert wide <= narrow * 1.05
+
+    def test_for_mix_returns_all_labels(self, cache):
+        baselines = cache.for_mix(MIXES["Sync-4"], n_cores=4)
+        assert set(baselines) == {"dedup", "ferret", "fmm", "water_nsquared"}
+        assert all(v > 0 for v in baselines.values())
+
+    def test_work_scale_shrinks_baseline(self):
+        big = BaselineCache(seed=3, work_scale=0.1)
+        small = BaselineCache(seed=3, work_scale=0.05)
+        assert small.isolated_turnaround("radix", 2, 4) < big.isolated_turnaround(
+            "radix", 2, 4
+        )

@@ -1,0 +1,122 @@
+"""H_NTT / H_ANTT / H_STP metric tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.metrics.turnaround import geomean, h_antt, h_ntt, h_stp, normalize_to
+
+positive = st.floats(0.01, 1e6)
+
+
+class TestHNTT:
+    def test_definition(self):
+        assert h_ntt(200.0, 100.0) == 2.0
+
+    def test_perfect_scheduling_is_one(self):
+        assert h_ntt(100.0, 100.0) == 1.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ExperimentError):
+            h_ntt(0.0, 1.0)
+        with pytest.raises(ExperimentError):
+            h_ntt(1.0, -1.0)
+        with pytest.raises(ExperimentError):
+            h_ntt(float("nan"), 1.0)
+
+
+class TestHANTT:
+    def test_average_of_slowdowns(self):
+        turnarounds = {"a": 200.0, "b": 100.0}
+        baselines = {"a": 100.0, "b": 100.0}
+        assert h_antt(turnarounds, baselines) == pytest.approx(1.5)
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            h_antt({"a": 1.0}, {"b": 1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            h_antt({}, {})
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4), positive,
+                           min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_isolated_runs_give_exactly_one(self, turnarounds):
+        assert h_antt(turnarounds, dict(turnarounds)) == pytest.approx(1.0)
+
+
+class TestHSTP:
+    def test_sum_of_throughputs(self):
+        turnarounds = {"a": 200.0, "b": 100.0}
+        baselines = {"a": 100.0, "b": 100.0}
+        assert h_stp(turnarounds, baselines) == pytest.approx(1.5)
+
+    def test_n_apps_at_baseline_speed(self):
+        apps = {f"p{i}": 100.0 for i in range(4)}
+        assert h_stp(apps, dict(apps)) == pytest.approx(4.0)
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            h_stp({"a": 1.0}, {})
+
+    @given(
+        st.dictionaries(st.text(min_size=1, max_size=4), positive,
+                        min_size=1, max_size=6),
+        st.floats(1.1, 10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_slowdown_lowers_stp_raises_antt(self, baselines, factor):
+        slowed = {k: v * factor for k, v in baselines.items()}
+        assert h_stp(slowed, baselines) < h_stp(baselines, baselines)
+        assert h_antt(slowed, baselines) > h_antt(baselines, baselines)
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geomean([3.5]) == 3.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ExperimentError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(positive, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_min_and_max(self, values):
+        result = geomean(values)
+        tolerance = 1e-9 * max(1.0, max(values))
+        assert min(values) - tolerance <= result <= max(values) + tolerance
+
+    @given(st.lists(positive, min_size=1, max_size=20), st.floats(0.1, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_equivariance(self, values, factor):
+        scaled = geomean([v * factor for v in values])
+        assert scaled == pytest.approx(geomean(values) * factor, rel=1e-6)
+
+
+class TestNormalize:
+    def test_reference_becomes_one(self):
+        values = {"linux": 2.0, "wash": 1.8, "colab": 1.6}
+        normalized = normalize_to(values, "linux")
+        assert normalized["linux"] == 1.0
+        assert normalized["colab"] == pytest.approx(0.8)
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(ExperimentError):
+            normalize_to({"a": 1.0}, "b")
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ExperimentError):
+            normalize_to({"a": 0.0}, "a")

@@ -1,0 +1,121 @@
+"""PCA and counter-selection tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.pca import PCA, select_counters
+
+
+def correlated_matrix(rng, n=200):
+    """Two informative dimensions + noise columns."""
+    latent = rng.normal(size=(n, 2))
+    informative = latent @ np.array([[1.0, 0.5, 0.0], [0.0, 1.0, 2.0]])
+    noise = rng.normal(scale=1.0, size=(n, 5))
+    return np.hstack([informative, noise]), latent
+
+
+class TestPCA:
+    def test_requires_two_samples(self):
+        with pytest.raises(ModelError):
+            PCA().fit(np.ones((1, 3)))
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(ModelError):
+            PCA().transform(np.ones((2, 3)))
+
+    def test_scores_before_fit_rejected(self):
+        with pytest.raises(ModelError):
+            PCA().counter_scores()
+
+    def test_explained_variance_sorted_descending(self, rng):
+        matrix, _ = correlated_matrix(rng)
+        pca = PCA().fit(matrix)
+        ev = pca.explained_variance_
+        assert all(ev[i] >= ev[i + 1] for i in range(len(ev) - 1))
+
+    def test_variance_ratio_sums_to_one(self, rng):
+        matrix, _ = correlated_matrix(rng)
+        pca = PCA().fit(matrix)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_n_components_truncates(self, rng):
+        matrix, _ = correlated_matrix(rng)
+        pca = PCA(n_components=2).fit(matrix)
+        assert pca.components_.shape[0] == 2
+
+    def test_transform_shape(self, rng):
+        matrix, _ = correlated_matrix(rng)
+        pca = PCA(n_components=3).fit(matrix)
+        projected = pca.transform(matrix)
+        assert projected.shape == (matrix.shape[0], 3)
+
+    def test_first_component_captures_dominant_direction(self, rng):
+        n = 500
+        dominant = rng.normal(size=n)
+        matrix = np.stack(
+            [dominant, dominant * 2 + rng.normal(scale=0.01, size=n),
+             rng.normal(scale=0.01, size=n)],
+            axis=1,
+        )
+        pca = PCA(n_components=1).fit(matrix)
+        loadings = np.abs(pca.components_[0])
+        assert loadings[0] > loadings[2]
+        assert loadings[1] > loadings[2]
+
+    def test_constant_column_does_not_crash(self, rng):
+        matrix = np.hstack(
+            [np.ones((50, 1)), rng.normal(size=(50, 3))]
+        )
+        pca = PCA().fit(matrix)
+        assert np.isfinite(pca.counter_scores()).all()
+
+
+class TestSelectCounters:
+    def make_data(self, rng, n=400, n_noise=30):
+        """Target depends on columns "signal0"/"signal1" only."""
+        signal = rng.normal(size=(n, 2))
+        target = 1.5 + signal[:, 0] * 0.8 - signal[:, 1] * 0.5
+        noise = rng.normal(size=(n, n_noise))
+        matrix = np.hstack([signal, noise])
+        names = ["signal0", "signal1"] + [f"noise{i}" for i in range(n_noise)]
+        return matrix, names, target
+
+    def test_target_aware_selection_finds_signal(self, rng):
+        matrix, names, target = self.make_data(rng)
+        selected = select_counters(matrix, names, k=2, targets=target)
+        assert set(selected) == {"signal0", "signal1"}
+
+    def test_exclusion_respected(self, rng):
+        matrix, names, target = self.make_data(rng)
+        selected = select_counters(
+            matrix, names, k=2, targets=target, exclude={"signal0"}
+        )
+        assert "signal0" not in selected
+        assert "signal1" in selected
+
+    def test_k_results_returned(self, rng):
+        matrix, names, target = self.make_data(rng)
+        assert len(select_counters(matrix, names, k=5, targets=target)) == 5
+
+    def test_name_count_mismatch_rejected(self, rng):
+        matrix, names, target = self.make_data(rng)
+        with pytest.raises(ModelError):
+            select_counters(matrix, names[:-1], k=2, targets=target)
+
+    def test_target_shape_mismatch_rejected(self, rng):
+        matrix, names, target = self.make_data(rng)
+        with pytest.raises(ModelError):
+            select_counters(matrix, names, k=2, targets=target[:-1])
+
+    def test_too_many_requested_rejected(self, rng):
+        matrix = rng.normal(size=(50, 3))
+        with pytest.raises(ModelError):
+            select_counters(matrix, ["a", "b", "c"], k=3, exclude={"a"})
+
+    def test_selection_without_target_uses_loadings(self, rng):
+        matrix, names, _target = self.make_data(rng, n_noise=5)
+        selected = select_counters(matrix, names, k=3)
+        assert len(selected) == 3

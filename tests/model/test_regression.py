@@ -1,0 +1,79 @@
+"""OLS regression tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.model.regression import LinearRegression
+
+
+class TestFit:
+    def test_recovers_exact_linear_relation(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = 2.0 + x @ np.array([1.5, -0.5, 3.0])
+        model = LinearRegression().fit(x, y)
+        assert model.intercept_ == pytest.approx(2.0)
+        assert model.coef_ == pytest.approx([1.5, -0.5, 3.0])
+        assert model.r2_ == pytest.approx(1.0)
+        assert model.residual_std_ == pytest.approx(0.0, abs=1e-8)
+
+    def test_r2_reasonable_with_noise(self, rng):
+        x = rng.normal(size=(500, 2))
+        y = 1.0 + x @ np.array([2.0, 0.0]) + rng.normal(scale=0.5, size=500)
+        model = LinearRegression().fit(x, y)
+        assert 0.8 < model.r2_ < 1.0
+        assert model.residual_std_ == pytest.approx(0.5, rel=0.2)
+
+    def test_underdetermined_rejected(self, rng):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(rng.normal(size=(3, 5)), np.zeros(3))
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(rng.normal(size=(10, 2)), np.zeros(9))
+
+    def test_one_dim_features_rejected(self, rng):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(np.zeros(10), np.zeros(10))
+
+    def test_constant_target(self, rng):
+        x = rng.normal(size=(50, 2))
+        model = LinearRegression().fit(x, np.full(50, 3.0))
+        assert model.intercept_ == pytest.approx(3.0)
+        assert model.r2_ == pytest.approx(1.0)  # degenerate total variance
+
+
+class TestPredict:
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ModelError):
+            LinearRegression().predict(np.zeros(3))
+
+    def test_predict_single_row(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = x @ np.array([1.0, 1.0])
+        model = LinearRegression().fit(x, y)
+        single = model.predict(np.array([2.0, 3.0]))
+        assert np.isscalar(single) or single.ndim == 0
+        assert float(single) == pytest.approx(5.0)
+
+    def test_predict_batch(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = x @ np.array([1.0, -1.0]) + 4.0
+        model = LinearRegression().fit(x, y)
+        batch = model.predict(x[:7])
+        assert batch.shape == (7,)
+        assert batch == pytest.approx(y[:7])
+
+    def test_wrong_feature_count_rejected(self, rng):
+        x = rng.normal(size=(50, 2))
+        model = LinearRegression().fit(x, np.zeros(50))
+        with pytest.raises(ModelError):
+            model.predict(np.zeros(3))
+
+    def test_is_fitted_flag(self, rng):
+        model = LinearRegression()
+        assert not model.is_fitted
+        model.fit(rng.normal(size=(10, 1)), np.zeros(10))
+        assert model.is_fitted

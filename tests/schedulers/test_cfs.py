@@ -1,0 +1,234 @@
+"""CFS baseline tests: placement, fairness, slices, preemption, stealing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.schedulers.cfs import CFSScheduler
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.topology import make_topology
+from tests.conftest import make_machine, make_simple_task
+
+
+def attached(n_big=2, n_little=2, **kwargs):
+    machine = make_machine(n_big, n_little, scheduler=CFSScheduler(**kwargs))
+    return machine, machine.scheduler
+
+
+def queued(machine, core_index, name="q", vruntime=0.0):
+    task = make_simple_task(name)
+    task.mark_ready()
+    task.vruntime = vruntime
+    machine.cores[core_index].rq.enqueue(task)
+    return task
+
+
+class TestSelectCore:
+    def test_first_placement_least_loaded(self):
+        machine, sched = attached()
+        queued(machine, 0)
+        task = make_simple_task("new")
+        assert sched.select_core(task, 0.0).core_id == 1
+
+    def test_wake_prefers_previous_idle_core(self):
+        machine, sched = attached()
+        task = make_simple_task()
+        task.last_core_id = 3
+        assert sched.select_core(task, 0.0).core_id == 3
+
+    def test_wake_searches_idle_in_same_cluster(self):
+        machine, sched = attached()
+        task = make_simple_task()
+        task.last_core_id = 2  # little cluster is cores 2,3
+        machine.cores[2].current = make_simple_task("busy")
+        chosen = sched.select_core(task, 0.0)
+        assert chosen.core_id == 3  # idle sibling in the little cluster
+
+    def test_wake_stays_on_prev_when_mildly_loaded(self):
+        """CFS locality: no cross-cluster move for a 1-task difference."""
+        machine, sched = attached()
+        task = make_simple_task()
+        task.last_core_id = 2
+        for core in machine.cores:
+            core.current = make_simple_task("busy")
+        assert sched.select_core(task, 0.0).core_id == 2
+
+    def test_wake_escapes_overload(self):
+        machine, sched = attached()
+        task = make_simple_task()
+        task.last_core_id = 2
+        for core in machine.cores:
+            core.current = make_simple_task("busy")
+        queued(machine, 2, "q1")
+        queued(machine, 2, "q2")
+        chosen = sched.select_core(task, 0.0)
+        assert chosen.core_id != 2
+
+    def test_affinity_respected(self):
+        machine, sched = attached()
+        task = make_simple_task()
+        task.affinity = frozenset({1})
+        task.last_core_id = 0
+        assert sched.select_core(task, 0.0).core_id == 1
+
+
+class TestEnqueuePlacement:
+    def test_new_task_starts_at_min_vruntime(self):
+        machine, sched = attached()
+        core = machine.cores[0]
+        core.rq.min_vruntime = 50.0
+        task = make_simple_task()
+        task.mark_ready()
+        sched.enqueue(core, task, 0.0, is_new=True)
+        assert task.vruntime == 50.0
+
+    def test_waking_sleeper_gets_bounded_credit(self):
+        machine, sched = attached(sched_latency=6.0)
+        core = machine.cores[0]
+        core.rq.min_vruntime = 100.0
+        task = make_simple_task()
+        task.mark_ready()
+        task.vruntime = 10.0  # slept a long time
+        sched.enqueue(core, task, 0.0, is_wakeup=True)
+        assert task.vruntime == pytest.approx(97.0)  # min_vrt - latency/2
+
+    def test_wakeup_does_not_rewind_ahead_task(self):
+        machine, sched = attached()
+        core = machine.cores[0]
+        core.rq.min_vruntime = 10.0
+        task = make_simple_task()
+        task.mark_ready()
+        task.vruntime = 200.0
+        sched.enqueue(core, task, 0.0, is_wakeup=True)
+        assert task.vruntime == 200.0
+
+    def test_requeue_keeps_vruntime(self):
+        machine, sched = attached()
+        core = machine.cores[0]
+        core.rq.min_vruntime = 100.0
+        task = make_simple_task()
+        task.mark_ready()
+        task.vruntime = 5.0
+        sched.enqueue(core, task, 0.0)  # preemption requeue: no clamp
+        assert task.vruntime == 5.0
+
+
+class TestPickNext:
+    def test_picks_leftmost(self):
+        machine, sched = attached()
+        a = queued(machine, 0, "a", vruntime=5.0)
+        b = queued(machine, 0, "b", vruntime=1.0)
+        assert sched.pick_next(machine.cores[0], 0.0) is b
+        assert sched.pick_next(machine.cores[0], 0.0) is a
+
+    def test_idle_balance_steals_from_busiest(self):
+        machine, sched = attached()
+        queued(machine, 1, "x")
+        queued(machine, 1, "y")
+        stolen = sched.pick_next(machine.cores[0], 0.0)
+        assert stolen is not None
+        assert sched.stats.steals == 1
+
+    def test_steal_respects_affinity(self):
+        machine, sched = attached()
+        task = queued(machine, 1, "pinned")
+        task.affinity = frozenset({1})
+        assert sched.pick_next(machine.cores[0], 0.0) is None
+
+    def test_idle_with_no_work(self):
+        machine, sched = attached()
+        assert sched.pick_next(machine.cores[0], 0.0) is None
+
+
+class TestChargeAndSlices:
+    def test_charge_is_core_blind(self):
+        machine, sched = attached()
+        task = make_simple_task()
+        sched.charge(task, machine.cores[0], 5.0, 5.0)  # big
+        sched.charge(task, machine.cores[2], 5.0, 10.0)  # little
+        assert task.vruntime == pytest.approx(10.0)
+
+    def test_slice_shrinks_with_queue_length(self):
+        machine, sched = attached(sched_latency=6.0, min_granularity=0.75)
+        core = machine.cores[0]
+        task = make_simple_task()
+        assert sched.slice_for(task, core) == pytest.approx(6.0)
+        queued(machine, 0, "q1")
+        assert sched.slice_for(task, core) == pytest.approx(3.0)
+        for i in range(10):
+            queued(machine, 0, f"q{i+2}")
+        assert sched.slice_for(task, core) == pytest.approx(0.75)
+
+    def test_curr_vruntime_extrapolates(self):
+        machine, sched = attached()
+        core = machine.cores[0]
+        task = make_simple_task()
+        task.vruntime = 3.0
+        task.mark_ready()
+        task.mark_running(0, "big")
+        core.current = task
+        core.run_started = 10.0
+        assert sched.curr_vruntime(core, 12.5) == pytest.approx(5.5)
+
+    def test_curr_vruntime_on_idle_core_rejected(self):
+        machine, sched = attached()
+        with pytest.raises(SchedulerError):
+            sched.curr_vruntime(machine.cores[0], 0.0)
+
+
+class TestWakeupPreemption:
+    def test_preempts_when_lag_exceeds_granularity(self):
+        machine, sched = attached(wakeup_granularity=1.0)
+        core = machine.cores[0]
+        running = make_simple_task("running")
+        running.vruntime = 10.0
+        running.mark_ready()
+        running.mark_running(0, "big")
+        core.current = running
+        core.run_started = 0.0
+        woken = make_simple_task("woken")
+        woken.vruntime = 2.0
+        assert sched.check_preempt_wakeup(core, woken, 0.0)
+
+    def test_no_preempt_within_granularity(self):
+        machine, sched = attached(wakeup_granularity=1.0)
+        core = machine.cores[0]
+        running = make_simple_task("running")
+        running.vruntime = 2.5
+        running.mark_ready()
+        running.mark_running(0, "big")
+        core.current = running
+        core.run_started = 0.0
+        woken = make_simple_task("woken")
+        woken.vruntime = 2.0
+        assert not sched.check_preempt_wakeup(core, woken, 0.0)
+
+    def test_idle_core_never_preempts(self):
+        machine, sched = attached()
+        assert not sched.check_preempt_wakeup(
+            machine.cores[0], make_simple_task(), 0.0
+        )
+
+
+class TestFairnessIntegration:
+    def test_equal_tasks_make_equal_progress(self):
+        """4 identical tasks on 2 symmetric cores finish together."""
+        machine = Machine(
+            make_topology(2, 0),
+            CFSScheduler(),
+            MachineConfig(seed=0, context_switch_cost=0.0, migration_cost=0.0),
+        )
+        tasks = [make_simple_task(f"t{i}", work=20.0, app_id=i) for i in range(4)]
+        for task in tasks:
+            machine.add_task(task)
+        result = machine.run()
+        finishes = [t.finish_time for t in tasks]
+        assert max(finishes) - min(finishes) <= 6.5  # within one latency period
+        assert result.makespan == pytest.approx(40.0, rel=0.01)
+
+    def test_attach_twice_rejected(self):
+        sched = CFSScheduler()
+        make_machine(1, 0, scheduler=sched)
+        with pytest.raises(SchedulerError):
+            make_machine(1, 0, scheduler=sched)

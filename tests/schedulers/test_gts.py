@@ -1,0 +1,102 @@
+"""ARM GTS extension-scheduler tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers.gts import GTSScheduler
+from repro.workloads.benchmarks import instantiate_benchmark
+from repro.workloads.programs import ProgramEnv
+from tests.conftest import make_machine, make_simple_task
+
+
+def gts_machine(n_big=2, n_little=2, **kwargs):
+    machine = make_machine(n_big, n_little, scheduler=GTSScheduler(**kwargs))
+    return machine, machine.scheduler
+
+
+class TestLoadTracking:
+    def test_unknown_task_defaults_to_full_load(self):
+        _machine, sched = gts_machine()
+        assert sched.load_of(make_simple_task()) == 1.0
+
+    def test_busy_task_converges_to_high_load(self):
+        machine, sched = gts_machine(n_big=1, n_little=1)
+        env = ProgramEnv.for_machine(machine, work_scale=0.5)
+        machine.add_program(
+            instantiate_benchmark("blackscholes", env, app_id=0, n_threads=2)
+        )
+        machine.run()
+        # CPU-hungry data-parallel workers keep high utilisation.
+        loads = [sched.load_of(t) for t in machine.tasks]
+        assert max(loads) > 0.6
+
+    def test_label_period(self):
+        _machine, sched = gts_machine(label_period_ms=5.0)
+        assert sched.label_period() == 5.0
+
+
+class TestAffinitySteering:
+    def test_high_load_threads_get_big_affinity(self):
+        machine, sched = gts_machine()
+        env = ProgramEnv.for_machine(machine, work_scale=0.6)
+        machine.add_program(
+            instantiate_benchmark("lu_cb", env, app_id=0, n_threads=2)
+        )
+        machine.run()
+        assert sched.stats.affinity_updates > 0
+        big_ids = frozenset(c.core_id for c in machine.big_cores)
+        # Compute-bound lu_cb threads end up with big affinity.
+        assert any(t.affinity == big_ids for t in machine.tasks)
+
+    def test_sync_heavy_threads_can_sink_to_little(self):
+        machine, sched = gts_machine(up_threshold=0.9, down_threshold=0.6)
+        env = ProgramEnv.for_machine(machine, work_scale=0.6)
+        machine.add_program(
+            instantiate_benchmark("fluidanimate", env, app_id=0, n_threads=8)
+        )
+        machine.run()
+        little_ids = frozenset(c.core_id for c in machine.little_cores)
+        assert any(t.affinity == little_ids for t in machine.tasks)
+
+    def test_symmetric_machine_is_noop(self):
+        machine, sched = gts_machine(n_big=2, n_little=0)
+        env = ProgramEnv.for_machine(machine, work_scale=0.2)
+        machine.add_program(
+            instantiate_benchmark("radix", env, app_id=0, n_threads=4)
+        )
+        machine.run()
+        assert sched.stats.affinity_updates == 0
+
+    def test_runs_mixed_workload_to_completion(self):
+        machine, _sched = gts_machine()
+        env = ProgramEnv.for_machine(machine, work_scale=0.1)
+        machine.add_program(
+            instantiate_benchmark("ferret", env, app_id=0, n_threads=6)
+        )
+        machine.add_program(
+            instantiate_benchmark("swaptions", env, app_id=1, n_threads=4)
+        )
+        result = machine.run()
+        assert len(result.app_turnaround) == 2
+
+    def test_factory_name(self):
+        from repro.schedulers import make_scheduler
+
+        sched = make_scheduler("gts")
+        assert isinstance(sched, GTSScheduler)
+        assert sched.name == "gts"
+
+    def test_gts_ignores_core_sensitivity(self):
+        """GTS treats a busy core-insensitive thread like a busy
+        core-sensitive one -- the limitation Table 1 attributes to it."""
+        from tests.conftest import FAST_PROFILE, SLOW_PROFILE
+
+        machine, sched = gts_machine()
+        fast = make_simple_task("fast", work=50.0, profile=FAST_PROFILE, app_id=0)
+        slow = make_simple_task("slow", work=50.0, profile=SLOW_PROFILE, app_id=1)
+        machine.add_task(fast)
+        machine.add_task(slow)
+        machine.run()
+        # Both are pure compute: same load, indistinguishable to GTS.
+        assert abs(sched.load_of(fast) - sched.load_of(slow)) < 0.2

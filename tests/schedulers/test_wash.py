@@ -1,0 +1,151 @@
+"""WASH re-implementation tests: mixed scoring, affinity control, churn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.speedup import OracleSpeedupModel
+from repro.schedulers.wash import WASHScheduler, zscores
+from repro.workloads.benchmarks import instantiate_benchmark
+from repro.workloads.programs import ProgramEnv
+from tests.conftest import (
+    FAST_PROFILE,
+    SLOW_PROFILE,
+    make_machine,
+    make_simple_task,
+)
+
+
+def wash_machine(n_big=2, n_little=2, **kwargs):
+    kwargs.setdefault("estimator", OracleSpeedupModel())
+    machine = make_machine(n_big, n_little, scheduler=WASHScheduler(**kwargs))
+    return machine, machine.scheduler
+
+
+class TestZScores:
+    def test_standardises(self):
+        scores = zscores(np.array([1.0, 2.0, 3.0]))
+        assert scores.mean() == pytest.approx(0.0)
+        assert scores[2] > scores[0]
+
+    def test_constant_population_is_zero(self):
+        assert (zscores(np.array([4.0, 4.0, 4.0])) == 0).all()
+
+
+class TestMixedScore:
+    def test_high_speedup_scores_higher(self):
+        machine, sched = wash_machine()
+        fast = make_simple_task(profile=FAST_PROFILE)
+        fast.predicted_speedup = 2.5
+        slow = make_simple_task(profile=SLOW_PROFILE)
+        slow.predicted_speedup = 1.1
+        scores = sched._mixed_scores([fast, slow])
+        assert scores[0] > scores[1]
+
+    def test_blocking_raises_score(self):
+        machine, sched = wash_machine()
+        blocker = make_simple_task()
+        blocker.blocking_level = 10.0
+        quiet = make_simple_task()
+        scores = sched._mixed_scores([blocker, quiet])
+        assert scores[0] > scores[1]
+
+    def test_fairness_demotes_big_hogs(self):
+        machine, sched = wash_machine(fairness_weight=5.0)
+        hog = make_simple_task()
+        hog.exec_time_by_kind["big"] = 100.0
+        hog.sum_exec_runtime = 100.0
+        meek = make_simple_task()
+        meek.exec_time_by_kind["little"] = 100.0
+        meek.sum_exec_runtime = 100.0
+        scores = sched._mixed_scores([hog, meek])
+        assert scores[1] > scores[0]
+
+
+class TestAffinityControl:
+    def run_mix(self, n_big=2, n_little=2):
+        machine, sched = wash_machine(n_big, n_little)
+        env = ProgramEnv.for_machine(machine, work_scale=0.2)
+        machine.add_program(
+            instantiate_benchmark("swaptions", env, app_id=0, n_threads=6)
+        )
+        machine.add_program(
+            instantiate_benchmark("blackscholes", env, app_id=1, n_threads=4)
+        )
+        result = machine.run()
+        return machine, sched, result
+
+    def test_affinities_assigned_during_run(self):
+        machine, sched, _result = self.run_mix()
+        assert sched.stats.affinity_updates > 0
+        assert sched.stats.label_passes > 0
+
+    def test_big_affinity_is_big_cluster_only(self):
+        machine, sched, _result = self.run_mix()
+        big_ids = frozenset(c.core_id for c in machine.big_cores)
+        for task in machine.tasks:
+            assert task.affinity in (None, big_ids)
+
+    def test_core_sensitive_threads_get_more_big_time(self):
+        machine, _sched, _result = self.run_mix()
+        fast_tasks = [
+            t for t in machine.tasks
+            if "swaptions" in t.name and not t.name.endswith("w0")
+        ]
+        slow_tasks = [t for t in machine.tasks if "blackscholes" in t.name]
+
+        def big_share(tasks):
+            big = sum(t.exec_time_by_kind["big"] for t in tasks)
+            total = sum(t.sum_exec_runtime for t in tasks)
+            return big / total
+
+        assert big_share(fast_tasks) > big_share(slow_tasks)
+
+    def test_symmetric_machine_is_noop(self):
+        machine, sched = wash_machine(n_big=2, n_little=0)
+        env = ProgramEnv.for_machine(machine, work_scale=0.1)
+        machine.add_program(
+            instantiate_benchmark("radix", env, app_id=0, n_threads=4)
+        )
+        machine.run()
+        assert sched.stats.affinity_updates == 0
+        assert all(t.affinity is None for t in machine.tasks)
+
+    def test_label_period_is_10ms(self):
+        _machine, sched = wash_machine()
+        assert sched.label_period() == 10.0
+
+    def test_enforcement_migrates_misplaced_tasks(self):
+        """A big-affinity task queued on a little core is moved eagerly."""
+        machine, sched = wash_machine()
+        task = make_simple_task(profile=FAST_PROFILE)
+        task.mark_ready()
+        little = machine.little_cores[0]
+        little.rq.enqueue(task)
+        big_ids = frozenset(c.core_id for c in machine.big_cores)
+        task.affinity = big_ids
+        sched._enforce_affinity(task, now=0.0)
+        assert task.rq_core_id in big_ids
+
+
+class TestWashBehaviour:
+    def test_completes_all_standard_mixes_subset(self):
+        from repro.workloads.mixes import MIXES
+
+        machine, _sched = wash_machine()
+        env = ProgramEnv.for_machine(machine, work_scale=0.05)
+        for instance in MIXES["NSync-1"].instantiate(env):
+            machine.add_program(instance)
+        result = machine.run()
+        assert len(result.app_turnaround) == 2
+
+    def test_pin_threshold_controls_pinning(self):
+        lenient_machine, lenient = wash_machine(pin_threshold=-10.0)
+        env = ProgramEnv.for_machine(lenient_machine, work_scale=0.4)
+        lenient_machine.add_program(
+            instantiate_benchmark("radix", env, app_id=0, n_threads=4)
+        )
+        lenient_machine.run()
+        # Threshold below every z-score: everyone pinned big at least once.
+        assert lenient.stats.affinity_updates >= 4

@@ -1,0 +1,92 @@
+"""Energy model tests (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import CoreKind
+from repro.sim.energy import EnergyReport, PowerModel, energy_of
+from repro.sim.topology import make_topology
+from tests.conftest import make_machine, make_simple_task
+
+FREE = dict(context_switch_cost=0.0, migration_cost=0.0)
+
+
+def run_simple(n_big=1, n_little=1, work=10.0):
+    machine = make_machine(n_big, n_little, **FREE)
+    machine.add_task(make_simple_task(work=work, speedup=2.0))
+    return machine.topology, machine.run()
+
+
+class TestPowerModel:
+    def test_defaults_ordered(self):
+        model = PowerModel()
+        assert model.big_busy_w > model.little_busy_w
+        assert model.busy_power(CoreKind.BIG) == model.big_busy_w
+        assert model.idle_power(CoreKind.LITTLE) == model.little_idle_w
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerModel(big_busy_w=-1.0)
+
+    def test_idle_above_busy_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerModel(big_busy_w=0.1, big_idle_w=0.5)
+
+
+class TestEnergyOf:
+    def test_single_big_core_exact(self):
+        topology, result = run_simple(n_big=1, n_little=0, work=10.0)
+        model = PowerModel(
+            big_busy_w=2.0, big_idle_w=0.0, migration_nj=0.0
+        )
+        report = energy_of(result, topology, model)
+        # 10 ms at 2 W = 0.02 J, all on the big cluster.
+        assert report.big_j == pytest.approx(0.02)
+        assert report.little_j == 0.0
+        assert report.total_j == pytest.approx(0.02)
+
+    def test_idle_core_costs_idle_power(self):
+        topology, result = run_simple(n_big=1, n_little=1, work=10.0)
+        model = PowerModel(
+            big_busy_w=1.0, big_idle_w=0.0,
+            little_busy_w=1.0, little_idle_w=0.5,
+            migration_nj=0.0,
+        )
+        report = energy_of(result, topology, model)
+        # Task ran on the big core; the little core idled the whole run.
+        assert report.idle_j == pytest.approx(0.01 * 0.5)
+
+    def test_edp_scales_with_makespan(self):
+        topology, result = run_simple(work=10.0)
+        report = energy_of(result, topology)
+        assert report.edp == pytest.approx(
+            report.total_j * result.makespan / 1000.0
+        )
+
+    def test_migrations_charged(self):
+        topology, result = run_simple()
+        cheap = energy_of(result, topology, PowerModel(migration_nj=0.0))
+        base = energy_of(result, topology)
+        assert base.migration_j >= cheap.migration_j
+
+    def test_topology_mismatch_rejected(self):
+        topology, result = run_simple(n_big=1, n_little=1)
+        with pytest.raises(SimulationError):
+            energy_of(result, make_topology(4, 4))
+
+    def test_render_mentions_units(self):
+        topology, result = run_simple()
+        text = energy_of(result, topology).render()
+        assert " J" in text
+        assert "EDP" in text
+
+    def test_little_only_cheaper_but_slower(self):
+        """The classic AMP energy/performance trade-off appears."""
+        big_topo, big_result = run_simple(n_big=1, n_little=0, work=20.0)
+        little_topo, little_result = run_simple(n_big=0, n_little=1, work=20.0)
+        big_report = energy_of(big_result, big_topo)
+        little_report = energy_of(little_result, little_topo)
+        assert little_result.makespan > big_result.makespan
+        assert little_report.total_j < big_report.total_j

@@ -1,0 +1,176 @@
+"""Event-loop tests: ordering, determinism, causality, limits."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventKind
+
+
+def collecting_engine():
+    engine = Engine()
+    seen = []
+    for kind in EventKind:
+        engine.register(kind, lambda ev: seen.append((ev.time, ev.kind)))
+    return engine, seen
+
+
+class TestOrdering:
+    def test_time_order(self):
+        engine, seen = collecting_engine()
+        engine.push(Event(time=3.0, kind=EventKind.CALLBACK))
+        engine.push(Event(time=1.0, kind=EventKind.CALLBACK))
+        engine.push(Event(time=2.0, kind=EventKind.CALLBACK))
+        engine.run()
+        assert [t for t, _ in seen] == [1.0, 2.0, 3.0]
+
+    def test_same_time_kind_priority(self):
+        engine, seen = collecting_engine()
+        engine.push(Event(time=1.0, kind=EventKind.LABEL))
+        engine.push(Event(time=1.0, kind=EventKind.SEGMENT_DONE))
+        engine.push(Event(time=1.0, kind=EventKind.SLICE_EXPIRY))
+        engine.push(Event(time=1.0, kind=EventKind.WAKEUP))
+        engine.run()
+        assert [k for _, k in seen] == [
+            EventKind.SEGMENT_DONE,
+            EventKind.WAKEUP,
+            EventKind.SLICE_EXPIRY,
+            EventKind.LABEL,
+        ]
+
+    def test_same_time_same_kind_fifo(self):
+        engine = Engine()
+        order = []
+        engine.register(EventKind.CALLBACK, lambda ev: order.append(ev.payload))
+        for i in range(10):
+            engine.push(Event(time=1.0, kind=EventKind.CALLBACK, payload=i))
+        engine.run()
+        assert order == list(range(10))
+
+    def test_now_advances(self):
+        engine = Engine()
+        times = []
+        engine.register(EventKind.CALLBACK, lambda ev: times.append(engine.now))
+        engine.push(Event(time=2.5, kind=EventKind.CALLBACK))
+        engine.run()
+        assert times == [2.5]
+        assert engine.now == 2.5
+
+
+class TestCausality:
+    def test_push_into_past_rejected(self):
+        engine, _seen = collecting_engine()
+        engine.push(Event(time=5.0, kind=EventKind.CALLBACK))
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.push(Event(time=1.0, kind=EventKind.CALLBACK))
+
+    def test_push_at_current_time_allowed(self):
+        engine = Engine()
+        pushed = []
+
+        def handler(ev):
+            if ev.payload == "first":
+                engine.push(
+                    Event(time=engine.now, kind=EventKind.CALLBACK, payload="second")
+                )
+            pushed.append(ev.payload)
+
+        engine.register(EventKind.CALLBACK, handler)
+        engine.push(Event(time=1.0, kind=EventKind.CALLBACK, payload="first"))
+        engine.run()
+        assert pushed == ["first", "second"]
+
+
+class TestControls:
+    def test_run_until_leaves_future_events(self):
+        engine, seen = collecting_engine()
+        engine.push(Event(time=1.0, kind=EventKind.CALLBACK))
+        engine.push(Event(time=10.0, kind=EventKind.CALLBACK))
+        engine.run(until=5.0)
+        assert len(seen) == 1
+        assert engine.pending() == 1
+
+    def test_stop_exits_loop(self):
+        engine = Engine()
+        seen = []
+
+        def handler(ev):
+            seen.append(ev.time)
+            engine.stop()
+
+        engine.register(EventKind.CALLBACK, handler)
+        engine.push(Event(time=1.0, kind=EventKind.CALLBACK))
+        engine.push(Event(time=2.0, kind=EventKind.CALLBACK))
+        engine.run()
+        assert seen == [1.0]
+        assert engine.pending() == 1
+
+    def test_step_returns_event_or_none(self):
+        engine, _ = collecting_engine()
+        assert engine.step() is None
+        engine.push(Event(time=1.0, kind=EventKind.CALLBACK))
+        event = engine.step()
+        assert event is not None
+        assert event.time == 1.0
+
+    def test_unregistered_kind_raises(self):
+        engine = Engine()
+        engine.push(Event(time=1.0, kind=EventKind.CALLBACK))
+        with pytest.raises(SimulationError, match="no handler"):
+            engine.run()
+
+    def test_max_events_guard(self):
+        engine = Engine(max_events=10)
+
+        def reschedule(ev):
+            engine.push(Event(time=engine.now + 1, kind=EventKind.CALLBACK))
+
+        engine.register(EventKind.CALLBACK, reschedule)
+        engine.push(Event(time=0.0, kind=EventKind.CALLBACK))
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run()
+
+    def test_processed_counter(self):
+        engine, _ = collecting_engine()
+        for i in range(5):
+            engine.push(Event(time=float(i), kind=EventKind.CALLBACK))
+        engine.run()
+        assert engine.processed == 5
+
+
+class TestDeterminism:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.sampled_from(list(EventKind))),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_pushes_identical_order(self, specs):
+        orders = []
+        for _ in range(2):
+            engine = Engine()
+            seen = []
+            for kind in EventKind:
+                engine.register(kind, lambda ev: seen.append((ev.time, ev.kind, ev.seq)))
+            for time, kind in specs:
+                engine.push(Event(time=time, kind=kind))
+            engine.run()
+            orders.append(seen)
+        assert orders[0] == orders[1]
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_processing_order_is_time_sorted(self, times):
+        engine = Engine()
+        seen = []
+        engine.register(EventKind.CALLBACK, lambda ev: seen.append(ev.time))
+        for time in times:
+            engine.push(Event(time=time, kind=EventKind.CALLBACK))
+        engine.run()
+        assert seen == sorted(times)

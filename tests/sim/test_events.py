@@ -1,0 +1,37 @@
+"""Event taxonomy tests."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, EventKind
+
+
+class TestOrdering:
+    def test_sort_key_time_first(self):
+        early = Event(time=1.0, kind=EventKind.LABEL)
+        late = Event(time=2.0, kind=EventKind.SEGMENT_DONE)
+        assert early < late
+
+    def test_kind_priority_breaks_time_ties(self):
+        segment = Event(time=1.0, kind=EventKind.SEGMENT_DONE)
+        wakeup = Event(time=1.0, kind=EventKind.WAKEUP)
+        expiry = Event(time=1.0, kind=EventKind.SLICE_EXPIRY)
+        label = Event(time=1.0, kind=EventKind.LABEL)
+        assert segment < wakeup < expiry < label
+
+    def test_sequence_breaks_full_ties(self):
+        first = Event(time=1.0, kind=EventKind.TICK, seq=1)
+        second = Event(time=1.0, kind=EventKind.TICK, seq=2)
+        assert first < second
+
+    def test_priority_values_documented_order(self):
+        assert EventKind.SEGMENT_DONE < EventKind.WAKEUP
+        assert EventKind.WAKEUP < EventKind.SLICE_EXPIRY
+        assert EventKind.SLICE_EXPIRY < EventKind.TICK
+        assert EventKind.TICK < EventKind.LABEL
+        assert EventKind.LABEL < EventKind.CALLBACK
+
+    def test_defaults(self):
+        event = Event(time=0.0, kind=EventKind.CALLBACK)
+        assert event.core_id == -1
+        assert event.version == -1
+        assert event.payload is None

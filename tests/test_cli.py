@@ -1,0 +1,70 @@
+"""CLI tests (parser wiring + one end-to-end run command)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        for command in (
+            "train", "tables", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "summary", "run", "all",
+        ):
+            args = parser.parse_args([command])
+            assert args.command == command
+            assert callable(args.func)
+
+    def test_global_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["--seed", "7", "--scale", "0.2", "fig4"])
+        assert args.seed == 7
+        assert args.scale == 0.2
+        assert not args.oracle
+
+    def test_oracle_flag(self):
+        args = build_parser().parse_args(["--oracle", "summary"])
+        assert args.oracle
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--mix", "Rand-5", "--config", "4B2S",
+             "--schedulers", "linux,gts", "--json", "/tmp/x.json"]
+        )
+        assert args.mix == "Rand-5"
+        assert args.config == "4B2S"
+        assert args.schedulers == "linux,gts"
+        assert args.json == "/tmp/x.json"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestRunCommand:
+    def test_run_point_and_json_export(self, tmp_path, capsys):
+        out = tmp_path / "point.json"
+        code = main(
+            [
+                "--scale", "0.05", "--oracle",
+                "run", "--mix", "Sync-1", "--config", "2B2S",
+                "--schedulers", "linux,colab", "--json", str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "H_ANTT" in stdout
+        assert "fairness" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["count"] == 2
+        schedulers = {p["scheduler"] for p in payload["points"]}
+        assert schedulers == {"linux", "colab"}

@@ -1,0 +1,47 @@
+"""Exception hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ExperimentError,
+    KernelError,
+    ModelError,
+    ReproError,
+    SchedulerError,
+    SimulationError,
+    WorkloadError,
+)
+
+ALL_ERRORS = (
+    SimulationError,
+    SchedulerError,
+    KernelError,
+    WorkloadError,
+    ModelError,
+    ExperimentError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catching_base_catches_all(self):
+        for exc in ALL_ERRORS:
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+    def test_domains_are_distinct(self):
+        assert not issubclass(KernelError, SchedulerError)
+        assert not issubclass(SchedulerError, KernelError)
+        assert not issubclass(ModelError, SimulationError)
+
+    def test_message_preserved(self):
+        try:
+            raise WorkloadError("bad thread count")
+        except ReproError as caught:
+            assert "bad thread count" in str(caught)

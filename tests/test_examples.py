@@ -1,0 +1,61 @@
+"""Example scripts stay importable/compilable (cheap smoke guard).
+
+Full executions are exercised manually (each script runs in seconds to a
+couple of minutes); here we guarantee the examples at least parse and
+compile against the current API surface so refactors cannot silently
+break them.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {path.name for path in EXAMPLE_FILES}
+        assert "quickstart.py" in names
+        assert "multiprogram_mix.py" in names
+        assert len(names) >= 3  # the deliverable's minimum
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_example_compiles(self, path, tmp_path):
+        py_compile.compile(
+            str(path), cfile=str(tmp_path / (path.stem + ".pyc")), doraise=True
+        )
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_example_has_main_guard_and_docstring(self, path):
+        source = path.read_text()
+        tree = ast.parse(source)
+        assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+        assert '__name__ == "__main__"' in source
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_example_imports_resolve(self, path):
+        """Every ``from repro...`` import names real attributes."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if not node.module.startswith("repro"):
+                    continue
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )

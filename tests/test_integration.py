@@ -1,0 +1,160 @@
+"""Cross-module integration tests and strong cross-scheduler invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers import make_scheduler
+from repro.sim.machine import Machine, MachineConfig
+from repro.sim.topology import make_topology
+from repro.workloads.benchmarks import instantiate_benchmark
+from repro.workloads.mixes import MIXES
+from repro.workloads.programs import ProgramEnv
+
+ALL_SCHEDULERS = ("linux", "wash", "colab", "gts")
+
+
+def run_mix(mix_index, scheduler_name, n_big=2, n_little=2, scale=0.05, seed=3):
+    machine = Machine(
+        make_topology(n_big, n_little),
+        make_scheduler(scheduler_name),
+        MachineConfig(seed=seed),
+    )
+    env = ProgramEnv.for_machine(machine, work_scale=scale)
+    for instance in MIXES[mix_index].instantiate(env):
+        machine.add_program(instance)
+    return machine, machine.run()
+
+
+class TestAllSchedulersAllClasses:
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    @pytest.mark.parametrize(
+        "mix_index", ["Sync-3", "NSync-3", "Comm-3", "Comp-3", "Rand-5"]
+    )
+    def test_every_scheduler_completes_every_class(self, scheduler, mix_index):
+        _machine, result = run_mix(mix_index, scheduler)
+        assert result.makespan > 0
+        expected_apps = {name for name, _ in MIXES[mix_index].programs}
+        assert set(result.app_names.values()) == expected_apps
+
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    def test_work_conservation_under_every_policy(self, scheduler):
+        machine, _result = run_mix("NSync-1", scheduler)
+        for task in machine.tasks:
+            assert task.work_done > 0
+            assert task.is_done
+
+
+class TestSymmetricMachineEquivalence:
+    """On an all-big machine, AMP-awareness must be (near) irrelevant.
+
+    Speedup labels degenerate (every core is the same), so the policies
+    should produce similar turnarounds -- a strong regression guard
+    against AMP machinery distorting the symmetric case.
+    """
+
+    def test_policies_agree_on_symmetric_hardware(self):
+        makespans = {}
+        for scheduler in ALL_SCHEDULERS:
+            machine = Machine(
+                make_topology(4, 0),
+                make_scheduler(scheduler),
+                MachineConfig(seed=9),
+            )
+            env = ProgramEnv.for_machine(machine, work_scale=0.1)
+            machine.add_program(
+                instantiate_benchmark("blackscholes", env, 0, n_threads=6)
+            )
+            makespans[scheduler] = machine.run().makespan
+        spread = max(makespans.values()) / min(makespans.values())
+        assert spread < 1.25, makespans
+
+
+class TestScaleInvariance:
+    """Shrinking work_scale shrinks time but preserves structure."""
+
+    def test_makespan_scales_roughly_linearly(self):
+        times = {}
+        for scale in (0.05, 0.1):
+            machine = Machine(
+                make_topology(2, 2), make_scheduler("linux"), MachineConfig(seed=4)
+            )
+            env = ProgramEnv.for_machine(machine, work_scale=scale)
+            machine.add_program(
+                instantiate_benchmark("radix", env, 0, n_threads=4)
+            )
+            times[scale] = machine.run().makespan
+        ratio = times[0.1] / times[0.05]
+        assert 1.6 < ratio < 2.4
+
+    def test_sync_structure_preserved_across_scales(self):
+        """Scaling shrinks chunk sizes, not chunk counts: the number of
+        synchronisation operations is (nearly) scale-invariant, which is
+        exactly what makes reduced-scale sweeps structurally faithful."""
+        waits = {}
+        for scale in (0.05, 0.3):
+            machine = Machine(
+                make_topology(2, 2), make_scheduler("linux"), MachineConfig(seed=4)
+            )
+            env = ProgramEnv.for_machine(machine, work_scale=scale)
+            machine.add_program(
+                instantiate_benchmark("fluidanimate", env, 0, n_threads=4)
+            )
+            machine.run()
+            waits[scale] = machine.futexes.waits_by_kind.get("lock", 0)
+        assert waits[0.05] == pytest.approx(waits[0.3], rel=0.1)
+
+
+class TestOrderSensitivity:
+    def test_core_order_changes_results(self):
+        """Big-first vs little-first runs genuinely differ (the reason the
+        paper averages over both)."""
+        results = []
+        for big_first in (True, False):
+            machine = Machine(
+                make_topology(2, 2, big_first=big_first),
+                make_scheduler("linux"),
+                MachineConfig(seed=5),
+            )
+            env = ProgramEnv.for_machine(machine, work_scale=0.08)
+            for instance in MIXES["Comm-1"].instantiate(env):
+                machine.add_program(instance)
+            results.append(machine.run().makespan)
+        assert results[0] != results[1]
+
+
+class TestRegressionGuards:
+    def test_dequeue_after_vruntime_change_while_queued(self):
+        """Regression: dequeue must use the insertion-time key even if a
+        scheduler mutated vruntime while the task was queued."""
+        from repro.kernel.runqueue import RunQueue
+        from tests.conftest import make_simple_task
+
+        rq = RunQueue(0)
+        task = make_simple_task()
+        task.mark_ready()
+        task.vruntime = 1.0
+        rq.enqueue(task)
+        task.vruntime = 99.0  # mutated in place
+        rq.dequeue(task)  # must not raise
+        assert len(rq) == 0
+
+    def test_empty_little_cluster_machines_work(self):
+        for scheduler in ALL_SCHEDULERS:
+            machine = Machine(
+                make_topology(2, 0), make_scheduler(scheduler), MachineConfig(seed=1)
+            )
+            env = ProgramEnv.for_machine(machine, work_scale=0.05)
+            machine.add_program(instantiate_benchmark("fft", env, 0, n_threads=2))
+            assert machine.run().makespan > 0
+
+    def test_single_little_core_machines_work(self):
+        for scheduler in ALL_SCHEDULERS:
+            machine = Machine(
+                make_topology(0, 1), make_scheduler(scheduler), MachineConfig(seed=1)
+            )
+            env = ProgramEnv.for_machine(machine, work_scale=0.03)
+            machine.add_program(
+                instantiate_benchmark("water_spatial", env, 0, n_threads=2)
+            )
+            assert machine.run().makespan > 0

@@ -1,0 +1,297 @@
+"""Behavior archetype tests: structure, completion, sync accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import behaviors
+from repro.workloads.behaviors import StageSpec, split_pipeline_threads
+from repro.workloads.programs import ProgramEnv, Traits
+from tests.conftest import make_machine
+
+TRAITS = Traits(0.5, 0.4, 0.4)
+
+
+def run_tasks(tasks, n_big=2, n_little=2, seed=0):
+    """Execute ``tasks`` on a small machine and return (machine, result)."""
+    machine = make_machine(n_big, n_little, seed=seed)
+    for task in tasks:
+        machine.add_task(task, app_name="prog")
+    return machine, machine.run()
+
+
+def build_env(machine, scale=1.0):
+    return ProgramEnv.for_machine(machine, work_scale=scale)
+
+
+class TestDataParallel:
+    def build(self, machine, n_threads=4, **kwargs):
+        env = build_env(machine)
+        defaults = dict(total_work=20.0, n_phases=2, chunk_work=0.5)
+        defaults.update(kwargs)
+        return behaviors.data_parallel(env, 0, "dp", TRAITS, n_threads, **defaults)
+
+    def test_thread_count(self):
+        machine = make_machine(1, 1)
+        assert len(self.build(machine, n_threads=6)) == 6
+
+    def test_completes(self):
+        machine = make_machine(2, 2)
+        tasks = self.build(machine)
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        assert all(t.is_done for t in tasks)
+
+    def test_barrier_per_phase(self):
+        machine = make_machine(2, 2)
+        tasks = self.build(machine, n_phases=3)
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        # 3 phases x 4 threads, all but last arrival blocks per phase.
+        assert machine.futexes.total_waits >= 3 * (len(tasks) - 1)
+
+    def test_lock_rate_controls_sync(self):
+        quiet_machine = make_machine(2, 2)
+        quiet = behaviors.data_parallel(
+            build_env(quiet_machine), 0, "q", TRAITS, 4,
+            total_work=20.0, n_phases=1, chunk_work=0.5, lock_every=0,
+        )
+        for t in quiet:
+            quiet_machine.add_task(t)
+        quiet_machine.run()
+
+        noisy_machine = make_machine(2, 2)
+        noisy = behaviors.data_parallel(
+            build_env(noisy_machine), 0, "n", TRAITS, 4,
+            total_work=20.0, n_phases=1, chunk_work=0.5, lock_every=1,
+        )
+        for t in noisy:
+            noisy_machine.add_task(t)
+        noisy_machine.run()
+        assert noisy_machine.futexes.total_waits > quiet_machine.futexes.total_waits
+
+    def test_zero_threads_rejected(self):
+        machine = make_machine(1, 1)
+        with pytest.raises(WorkloadError):
+            self.build(machine, n_threads=0)
+
+    def test_work_roughly_conserved(self):
+        machine = make_machine(2, 2)
+        tasks = self.build(machine, total_work=30.0, imbalance=0.0)
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        total = sum(t.work_done for t in tasks)
+        assert total == pytest.approx(30.0, rel=0.25)  # lognormal jitter
+
+
+class TestPipeline:
+    def stages(self, counts=(1, 2, 1), work=(0.2, 0.5, 0.1)):
+        names = ["in", "mid", "out"]
+        return [
+            StageSpec(n, c, w) for n, c, w in zip(names, counts, work)
+        ]
+
+    def test_completes_and_counts_threads(self):
+        machine = make_machine(2, 2)
+        tasks = behaviors.pipeline(
+            build_env(machine), 0, "pipe", TRAITS, self.stages(), n_items=20
+        )
+        assert len(tasks) == 4
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        assert all(t.is_done for t in tasks)
+
+    def test_multi_producer_splits_items(self):
+        machine = make_machine(2, 2)
+        stages = self.stages(counts=(3, 2, 1))
+        tasks = behaviors.pipeline(
+            build_env(machine), 0, "pipe", TRAITS, stages, n_items=20
+        )
+        assert len(tasks) == 6
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        assert all(t.is_done for t in tasks)
+
+    def test_wide_middle_stage_shutdown(self):
+        """Poison waves must match pool sizes (the classic pipeline bug)."""
+        machine = make_machine(2, 2)
+        stages = [
+            StageSpec("in", 1, 0.1),
+            StageSpec("a", 3, 0.2),
+            StageSpec("b", 2, 0.2),
+            StageSpec("out", 1, 0.05),
+        ]
+        tasks = behaviors.pipeline(
+            build_env(machine), 0, "pipe", TRAITS, stages, n_items=15
+        )
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        assert all(t.is_done for t in tasks)
+
+    def test_unbalanced_stage_dominates_blocking(self):
+        machine = make_machine(2, 2)
+        stages = [
+            StageSpec("in", 1, 0.05),
+            StageSpec("heavy", 1, 1.2),
+            StageSpec("out", 1, 0.05),
+        ]
+        tasks = behaviors.pipeline(
+            build_env(machine), 0, "pipe", TRAITS, stages, n_items=30
+        )
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        heavy = next(t for t in tasks if "heavy" in t.name)
+        others = [t for t in tasks if "heavy" not in t.name]
+        # The slow stage causes most of the waiting (it is the bottleneck).
+        assert heavy.caused_wait_time > max(t.caused_wait_time for t in others)
+
+    def test_too_few_stages_rejected(self):
+        machine = make_machine(1, 1)
+        with pytest.raises(WorkloadError):
+            behaviors.pipeline(
+                build_env(machine), 0, "p", TRAITS, [StageSpec("only", 1, 1.0)], 5
+            )
+
+    def test_zero_items_rejected(self):
+        machine = make_machine(1, 1)
+        with pytest.raises(WorkloadError):
+            behaviors.pipeline(
+                build_env(machine), 0, "p", TRAITS, self.stages(), n_items=0
+            )
+
+
+class TestSplitPipelineThreads:
+    def test_exact_minimum(self):
+        assert split_pipeline_threads(5, 3) == [1, 1, 1, 1, 1]
+
+    def test_round_robin_distribution(self):
+        assert split_pipeline_threads(8, 3) == [1, 2, 2, 2, 1]
+
+    def test_uneven_distribution(self):
+        assert split_pipeline_threads(9, 3) == [1, 3, 2, 2, 1]
+
+    def test_sums_to_total(self):
+        for total in range(6, 20):
+            assert sum(split_pipeline_threads(total, 4)) == total
+
+    def test_too_few_rejected(self):
+        with pytest.raises(WorkloadError):
+            split_pipeline_threads(4, 3)
+
+
+class TestForkJoin:
+    def test_completes(self):
+        machine = make_machine(2, 2)
+        tasks = behaviors.fork_join(
+            build_env(machine), 0, "fj", TRAITS, 4, total_work=20.0, n_phases=3
+        )
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        assert all(t.is_done for t in tasks)
+
+    def test_imbalance_creates_waiting(self):
+        machine = make_machine(4, 0)
+        tasks = behaviors.fork_join(
+            build_env(machine), 0, "fj", TRAITS, 4,
+            total_work=40.0, n_phases=2, imbalance=0.5,
+        )
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        assert sum(t.own_wait_time for t in tasks) > 0
+
+    def test_zero_threads_rejected(self):
+        machine = make_machine(1, 1)
+        with pytest.raises(WorkloadError):
+            behaviors.fork_join(
+                build_env(machine), 0, "fj", TRAITS, 0, total_work=1.0
+            )
+
+
+class TestTaskQueue:
+    def test_completes(self):
+        machine = make_machine(2, 2)
+        tasks = behaviors.task_queue(
+            build_env(machine), 0, "tq", TRAITS, 4, total_work=20.0, n_chunks=16
+        )
+        assert len(tasks) == 4
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        assert all(t.is_done for t in tasks)
+
+    def test_needs_master_and_worker(self):
+        machine = make_machine(1, 1)
+        with pytest.raises(WorkloadError):
+            behaviors.task_queue(
+                build_env(machine), 0, "tq", TRAITS, 1, total_work=5.0
+            )
+
+    def test_dynamic_balancing_uses_fast_cores_more(self):
+        """On an AMP, big-core workers automatically grab more chunks."""
+        machine = make_machine(1, 1, context_switch_cost=0.0, migration_cost=0.0)
+        tasks = behaviors.task_queue(
+            build_env(machine), 0, "tq", TRAITS, 3, total_work=30.0, n_chunks=40
+        )
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        workers = [t for t in tasks if "master" not in t.name]
+        big_work = sum(t.work_done * (t.exec_time_by_kind["big"] / max(t.sum_exec_runtime, 1e-9)) for t in workers)
+        total_work = sum(t.work_done for t in workers)
+        assert big_work > 0.4 * total_work
+
+    def test_lock_every_adds_critical_sections(self):
+        machine = make_machine(2, 2)
+        tasks = behaviors.task_queue(
+            build_env(machine), 0, "tq", TRAITS, 4,
+            total_work=20.0, n_chunks=20, lock_every=1,
+        )
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        assert all(t.is_done for t in tasks)
+
+
+class TestStaticPartition:
+    def test_straggler_gets_more_work(self):
+        machine = make_machine(2, 2)
+        tasks = behaviors.static_partition(
+            build_env(machine), 0, "sp", TRAITS, 4,
+            total_work=40.0, straggler_share=2.0,
+        )
+        for task in tasks:
+            machine.add_task(task)
+        machine.run()
+        straggler = tasks[0]
+        workers = tasks[1:]
+        assert straggler.work_done > max(w.work_done for w in workers)
+
+    def test_profiles_override(self):
+        from tests.conftest import FAST_PROFILE, SLOW_PROFILE
+
+        machine = make_machine(1, 1)
+        tasks = behaviors.static_partition(
+            build_env(machine), 0, "sp", TRAITS, 3, total_work=10.0,
+            straggler_profile=SLOW_PROFILE, worker_profile=FAST_PROFILE,
+        )
+        assert tasks[0].profile is SLOW_PROFILE
+        assert all(t.profile is FAST_PROFILE for t in tasks[1:])
+
+    def test_single_thread_ok(self):
+        machine = make_machine(1, 0)
+        tasks = behaviors.static_partition(
+            build_env(machine), 0, "sp", TRAITS, 1, total_work=5.0
+        )
+        machine.add_task(tasks[0])
+        machine.run()
+        assert tasks[0].is_done

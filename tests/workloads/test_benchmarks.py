@@ -1,0 +1,144 @@
+"""Benchmark catalogue tests: all 15 Table 3 models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.benchmarks import BENCHMARKS, instantiate_benchmark
+from repro.workloads.programs import ProgramEnv
+from tests.conftest import make_machine
+
+ALL_NAMES = sorted(BENCHMARKS)
+
+
+class TestCatalogue:
+    def test_fifteen_benchmarks(self):
+        assert len(BENCHMARKS) == 15
+
+    def test_paper_names_present(self):
+        expected = {
+            "blackscholes", "bodytrack", "dedup", "ferret", "fluidanimate",
+            "freqmine", "swaptions", "radix", "lu_ncb", "lu_cb", "ocean_cp",
+            "water_nsquared", "water_spatial", "fmm", "fft",
+        }
+        assert set(BENCHMARKS) == expected
+
+    def test_table3_sync_classes(self):
+        assert BENCHMARKS["fluidanimate"].sync_rate == "very high"
+        assert BENCHMARKS["ferret"].sync_rate == "high"
+        assert BENCHMARKS["freqmine"].sync_rate == "high"
+        assert BENCHMARKS["blackscholes"].sync_rate == "low"
+        assert BENCHMARKS["bodytrack"].sync_rate == "medium"
+
+    def test_table3_comm_classes(self):
+        assert BENCHMARKS["blackscholes"].comm_ratio == "high"
+        assert BENCHMARKS["swaptions"].comm_ratio == "low"
+        assert BENCHMARKS["ferret"].comm_ratio == "medium"
+        assert BENCHMARKS["lu_cb"].comm_ratio == "low"
+
+    def test_splash2_two_thread_caps(self):
+        for name in ("fmm", "water_nsquared", "water_spatial"):
+            assert BENCHMARKS[name].max_threads == 2
+
+    def test_suites(self):
+        assert BENCHMARKS["ferret"].suite == "parsec"
+        assert BENCHMARKS["radix"].suite == "splash2"
+
+    def test_comm_heavy_benchmarks_have_low_speedup_traits(self):
+        heavy = BENCHMARKS["blackscholes"].traits
+        light = BENCHMARKS["lu_cb"].traits
+        assert heavy.memory_intensity > light.memory_intensity
+        assert light.compute_intensity > heavy.compute_intensity
+
+
+class TestInstantiation:
+    def test_unknown_benchmark_rejected(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine)
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            instantiate_benchmark("nginx", env, app_id=0)
+
+    def test_zero_threads_rejected(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine)
+        with pytest.raises(WorkloadError):
+            instantiate_benchmark("radix", env, app_id=0, n_threads=0)
+
+    def test_max_threads_clamped(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine)
+        instance = instantiate_benchmark("fmm", env, app_id=0, n_threads=16)
+        assert instance.n_threads == 2
+
+    def test_requested_thread_count_respected(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine)
+        instance = instantiate_benchmark("blackscholes", env, app_id=0, n_threads=6)
+        assert instance.n_threads == 6
+
+    def test_instance_name_override(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine)
+        instance = instantiate_benchmark(
+            "radix", env, app_id=3, instance_name="radix#1"
+        )
+        assert instance.name == "radix#1"
+        assert all(t.app_id == 3 for t in instance.tasks)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_benchmark_runs_to_completion(self, name):
+        """Each model executes end-to-end on a small AMP (scaled down)."""
+        machine = make_machine(2, 2, seed=1)
+        env = ProgramEnv.for_machine(machine, work_scale=0.05)
+        instance = instantiate_benchmark(name, env, app_id=0)
+        machine.add_program(instance)
+        result = machine.run()
+        assert result.makespan > 0
+        assert all(t.is_done for t in instance.tasks)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_benchmark_is_deterministic(self, name):
+        makespans = []
+        for _ in range(2):
+            machine = make_machine(1, 1, seed=9)
+            env = ProgramEnv.for_machine(machine, work_scale=0.03)
+            machine.add_program(instantiate_benchmark(name, env, app_id=0))
+            makespans.append(machine.run().makespan)
+        assert makespans[0] == makespans[1]
+
+    def test_fluidanimate_syncs_far_more_than_blackscholes(self):
+        rates = {}
+        for name in ("fluidanimate", "blackscholes"):
+            machine = make_machine(2, 2, seed=1)
+            env = ProgramEnv.for_machine(machine, work_scale=0.2)
+            machine.add_program(instantiate_benchmark(name, env, app_id=0))
+            result = machine.run()
+            rates[name] = machine.futexes.total_waits / result.makespan
+        assert rates["fluidanimate"] > 10 * rates["blackscholes"]
+
+    def test_swaptions_straggler_is_core_insensitive(self):
+        machine = make_machine(2, 2)
+        env = ProgramEnv.for_machine(machine)
+        instance = instantiate_benchmark("swaptions", env, app_id=0, n_threads=4)
+        straggler = instance.tasks[0]
+        workers = instance.tasks[1:]
+        assert straggler.profile.speedup() < 1.3
+        assert all(w.profile.speedup() > 2.2 for w in workers)
+
+    def test_pipeline_benchmarks_have_stage_names(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine)
+        ferret = instantiate_benchmark("ferret", env, app_id=0, n_threads=8)
+        names = " ".join(t.name for t in ferret.tasks)
+        for stage in ("load", "seg", "extract", "vector", "rank", "out"):
+            assert stage in names
+
+    def test_dedup_five_stages(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine)
+        dedup = instantiate_benchmark("dedup", env, app_id=0, n_threads=14)
+        names = " ".join(t.name for t in dedup.tasks)
+        for stage in ("fragment", "refine", "dedup", "compress", "reorder"):
+            assert stage in names
+        assert dedup.n_threads == 14

@@ -1,0 +1,98 @@
+"""Random mix generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.generator import class_pool, generate_campaign, generate_mix
+from repro.workloads.programs import ProgramEnv
+from tests.conftest import make_machine
+
+
+class TestClassPools:
+    def test_sync_pool_contains_fluidanimate(self):
+        assert "fluidanimate" in class_pool("sync")
+        assert "blackscholes" not in class_pool("sync")
+
+    def test_nsync_pool_is_low_sync(self):
+        assert all(
+            BENCHMARKS[name].sync_rate == "low" for name in class_pool("nsync")
+        )
+
+    def test_comm_and_comp_partition(self):
+        comm = set(class_pool("comm"))
+        comp = set(class_pool("comp"))
+        assert comm.isdisjoint(comp)
+        assert comm | comp == set(BENCHMARKS)
+
+    def test_rand_pool_is_everything(self):
+        assert class_pool("rand") == sorted(BENCHMARKS)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(WorkloadError):
+            class_pool("bogus")
+
+
+class TestGenerateMix:
+    def test_deterministic(self):
+        a = generate_mix("rand", seed=9)
+        b = generate_mix("rand", seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        draws = {generate_mix("rand", seed=s).programs for s in range(8)}
+        assert len(draws) > 1
+
+    def test_respects_class_pool(self):
+        mix = generate_mix("sync", seed=3, n_programs=4)
+        pool = set(class_pool("sync"))
+        assert all(name in pool for name, _count in mix.programs)
+
+    def test_respects_structural_minimums(self):
+        for seed in range(12):
+            mix = generate_mix("rand", seed=seed, n_programs=4)
+            for name, count in mix.programs:
+                spec = BENCHMARKS[name]
+                assert count >= spec.min_threads
+                if spec.max_threads is not None:
+                    assert count <= spec.max_threads
+
+    def test_distinct_programs(self):
+        mix = generate_mix("rand", seed=1, n_programs=4)
+        names = [name for name, _count in mix.programs]
+        assert len(set(names)) == 4
+
+    def test_default_program_count_from_paper(self):
+        counts = {generate_mix("rand", seed=s).n_programs for s in range(20)}
+        assert counts <= {2, 4}
+
+    def test_too_many_programs_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_mix("sync", seed=1, n_programs=50)
+
+    def test_custom_index(self):
+        mix = generate_mix("comp", seed=2, index="My-Mix")
+        assert mix.index == "My-Mix"
+
+    def test_generated_mix_runs(self):
+        mix = generate_mix("nsync", seed=5, n_programs=2,
+                           max_threads_per_program=4)
+        machine = make_machine(1, 1, seed=5)
+        env = ProgramEnv.for_machine(machine, work_scale=0.05)
+        for instance in mix.instantiate(env):
+            machine.add_program(instance)
+        result = machine.run()
+        assert len(result.app_turnaround) == 2
+
+
+class TestCampaign:
+    def test_campaign_size_and_uniqueness(self):
+        campaign = generate_campaign("rand", n_mixes=5, seed=100)
+        assert len(campaign) == 5
+        assert len({mix.index for mix in campaign}) == 5
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_campaign("rand", n_mixes=0, seed=1)

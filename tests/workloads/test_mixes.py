@@ -1,0 +1,96 @@
+"""Table 4 mix catalogue tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.mixes import (
+    MIXES,
+    PAPER_THREAD_COUNTS,
+    WorkloadMix,
+    mixes_by_class,
+)
+from repro.workloads.programs import ProgramEnv
+from tests.conftest import make_machine
+
+
+class TestCatalogue:
+    def test_twenty_six_mixes(self):
+        assert len(MIXES) == 26
+
+    @pytest.mark.parametrize("index", sorted(MIXES))
+    def test_thread_totals_match_paper(self, index):
+        assert MIXES[index].total_threads == PAPER_THREAD_COUNTS[index]
+
+    def test_class_partition(self):
+        assert len(mixes_by_class("sync")) == 4
+        assert len(mixes_by_class("nsync")) == 4
+        assert len(mixes_by_class("comm")) == 4
+        assert len(mixes_by_class("comp")) == 4
+        assert len(mixes_by_class("rand")) == 10
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(WorkloadError):
+            mixes_by_class("bogus")
+
+    def test_compositions_match_paper_rows(self):
+        assert [n for n, _ in MIXES["Sync-2"].programs] == ["dedup", "fluidanimate"]
+        assert [n for n, _ in MIXES["Comm-4"].programs] == [
+            "blackscholes", "dedup", "ferret", "water_nsquared",
+        ]
+        assert [n for n, _ in MIXES["Rand-10"].programs] == [
+            "lu_cb", "lu_ncb", "bodytrack", "dedup",
+        ]
+
+    def test_program_counts(self):
+        assert MIXES["Sync-1"].n_programs == 2
+        assert MIXES["Sync-4"].n_programs == 4
+
+    def test_two_thread_caps_respected_in_compositions(self):
+        for mix in MIXES.values():
+            for name, count in mix.programs:
+                if name in ("fmm", "water_nsquared", "water_spatial"):
+                    assert count <= 2, f"{mix.index} violates 2-thread cap"
+
+    def test_str_mentions_components(self):
+        text = str(MIXES["Sync-1"])
+        assert "Sync-1" in text
+        assert "water_nsquared" in text
+        assert "4 threads" in text
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadMix(index="X", wl_class="rand", programs=(("nope", 2),))
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadMix(index="X", wl_class="rand", programs=(("radix", 0),))
+
+
+class TestInstantiation:
+    def test_app_ids_follow_order(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine, work_scale=0.05)
+        instances = MIXES["Sync-4"].instantiate(env)
+        assert [i.app_id for i in instances] == [0, 1, 2, 3]
+        assert [i.name for i in instances] == [
+            "dedup", "ferret", "fmm", "water_nsquared",
+        ]
+
+    def test_total_threads_after_instantiation(self):
+        machine = make_machine(1, 1)
+        env = ProgramEnv.for_machine(machine, work_scale=0.05)
+        instances = MIXES["Comp-2"].instantiate(env)
+        assert sum(i.n_threads for i in instances) == 17
+
+    @pytest.mark.parametrize("index", ["Sync-1", "NSync-3", "Comm-1", "Comp-1"])
+    def test_small_mixes_run_to_completion(self, index):
+        machine = make_machine(2, 2, seed=5)
+        env = ProgramEnv.for_machine(machine, work_scale=0.05)
+        for instance in MIXES[index].instantiate(env):
+            machine.add_program(instance)
+        result = machine.run()
+        assert set(result.app_names.values()) == {
+            name for name, _ in MIXES[index].programs
+        }

@@ -1,0 +1,125 @@
+"""Observability overhead: the disabled tracer must be effectively free.
+
+The obs subsystem's contract (``repro.obs.tracer``) is that every hot-path
+call site guards with ``if tracer.enabled:`` before building any event
+arguments, so a run with observability off pays only attribute reads and
+branches.  This bench checks that contract on a reference run:
+
+* time the same (mix, config, scheduler, seed) run with observability
+  disabled and with tracing+metrics enabled, on fresh machines each
+  round (wall-clock medians over several rounds);
+* measure the per-check cost of the disabled guard directly and scale it
+  by the number of events the enabled run recorded -- an upper bound on
+  what the disabled instrumentation adds to the run;
+* assert that bound stays under 5% of the disabled run's wall time, and
+  write ``BENCH_obs.json`` so the perf trajectory is diffable across
+  sessions.
+
+The enabled/disabled wall-clock ratio is also recorded (informational:
+it measures the cost of *enabled* tracing, which is allowed to be paid).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from benchmarks.conftest import emit
+from repro.obs.context import ObsConfig
+from repro.obs.tracer import Tracer
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads.mixes import MIXES
+from repro.workloads.programs import ProgramEnv
+
+#: Reference point: a synchronisation-heavy mix exercises every event
+#: source (dispatches, migrations, futex waits/wakes, decisions).
+MIX, CONFIG, SCHEDULER = "Sync-2", "2B2S", "colab"
+ROUNDS = 5
+#: Acceptance bound: disabled-observability overhead vs the seed run.
+MAX_DISABLED_OVERHEAD = 0.05
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def timed_run(ctx, obs: ObsConfig | None):
+    """Wall-clock one fresh reference run; returns (seconds, result)."""
+    machine = Machine(
+        ctx.topology(CONFIG, big_first=True),
+        ctx.make_scheduler(SCHEDULER),
+        MachineConfig(seed=ctx.seed, obs=obs),
+    )
+    env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
+    for instance in MIXES[MIX].instantiate(env):
+        machine.add_program(instance)
+    started = time.perf_counter()
+    result = machine.run()
+    return time.perf_counter() - started, result
+
+
+def guard_cost_seconds(checks: int) -> float:
+    """Cost of ``checks`` disabled-tracer guard evaluations."""
+    tracer = Tracer(enabled=False)
+    started = time.perf_counter()
+    hits = 0
+    for _ in range(checks):
+        if tracer.enabled:
+            hits += 1
+    elapsed = time.perf_counter() - started
+    assert hits == 0
+    return elapsed
+
+
+def measure(ctx) -> dict:
+    disabled_times = []
+    enabled_times = []
+    n_events = 0
+    for _ in range(ROUNDS):
+        seconds, _result = timed_run(ctx, None)
+        disabled_times.append(seconds)
+        seconds, result = timed_run(
+            ctx, ObsConfig(trace=True, metrics=True)
+        )
+        enabled_times.append(seconds)
+        n_events = len(result.events)
+
+    disabled_s = statistics.median(disabled_times)
+    enabled_s = statistics.median(enabled_times)
+    # Upper-bound the disabled instrumentation: every event the enabled
+    # run recorded corresponds to at most a handful of guard checks in
+    # the disabled run; charge 4x to be conservative.
+    guard_s = guard_cost_seconds(max(1, n_events * 4))
+    return {
+        "mix": MIX,
+        "config": CONFIG,
+        "scheduler": SCHEDULER,
+        "rounds": ROUNDS,
+        "events_when_enabled": n_events,
+        "disabled_run_s": disabled_s,
+        "enabled_run_s": enabled_s,
+        "enabled_over_disabled": enabled_s / disabled_s,
+        "guard_checks_timed": max(1, n_events * 4),
+        "guard_cost_s": guard_s,
+        "disabled_overhead_fraction": guard_s / disabled_s,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+    }
+
+
+def test_obs_disabled_overhead(benchmark, ctx):
+    report = benchmark.pedantic(lambda: measure(ctx), rounds=1, iterations=1)
+    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    emit(
+        benchmark,
+        "Observability overhead "
+        f"({report['events_when_enabled']} events at reference point)\n"
+        f"  disabled run      : {report['disabled_run_s'] * 1e3:8.1f} ms\n"
+        f"  enabled run       : {report['enabled_run_s'] * 1e3:8.1f} ms "
+        f"({report['enabled_over_disabled']:.2f}x)\n"
+        f"  guard upper bound : {report['guard_cost_s'] * 1e6:8.1f} us "
+        f"({report['disabled_overhead_fraction'] * 100:.3f}% of disabled)\n"
+        f"  wrote {ARTIFACT.name}",
+        disabled_overhead_fraction=report["disabled_overhead_fraction"],
+        enabled_over_disabled=report["enabled_over_disabled"],
+    )
+    assert report["disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD, report

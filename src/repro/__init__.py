@@ -34,6 +34,7 @@ from repro.errors import (
 from repro.kernel.task import Task, TaskState
 from repro.metrics.turnaround import geomean, h_antt, h_ntt, h_stp
 from repro.model.speedup import LearnedSpeedupModel, OracleSpeedupModel
+from repro.obs import ObsConfig, TraceEvent
 from repro.model.training import train_speedup_model
 from repro.schedulers import make_scheduler
 from repro.schedulers.cfs import CFSScheduler
@@ -67,6 +68,7 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "ModelError",
+    "ObsConfig",
     "PowerModel",
     "OracleSpeedupModel",
     "ProgramEnv",
@@ -77,6 +79,7 @@ __all__ = [
     "Task",
     "TaskState",
     "Topology",
+    "TraceEvent",
     "WASHScheduler",
     "WorkloadError",
     "WorkloadMix",

@@ -7,6 +7,8 @@ Examples::
     colab-repro summary --oracle     # 312-run summary with oracle model
     colab-repro tables               # Tables 1-4
     colab-repro train                # Table 2 pipeline only
+    colab-repro trace --mix Sync-2   # Perfetto trace + metrics of one run
+    colab-repro -vv trace ...        # same, with DEBUG decision logs
 """
 
 from __future__ import annotations
@@ -101,6 +103,59 @@ def _cmd_run(args: argparse.Namespace) -> None:
         print(f"\nwrote {args.json}")
 
 
+def _cmd_trace(args: argparse.Namespace) -> None:
+    """Trace one run; write a Perfetto-loadable Chrome trace + metrics."""
+    import json
+
+    from repro.errors import ExperimentError
+    from repro.experiments.runner import run_mix_once
+    from repro.obs.context import ObsConfig
+    from repro.obs.exporters import to_chrome_trace, write_jsonl
+    from repro.workloads.mixes import MIXES
+
+    ctx = _context(args)
+    mix = MIXES.get(args.mix)
+    if mix is None:
+        raise ExperimentError(f"unknown mix {args.mix!r}")
+    obs = ObsConfig(trace=True, metrics=True, profile=args.profile)
+    result = run_mix_once(
+        ctx, mix, args.config, args.scheduler, big_first=True, obs=obs
+    )
+
+    document = to_chrome_trace(
+        result.events, metadata=result.trace_metadata, end_time=result.makespan
+    )
+    with open(args.out, "w") as handle:
+        json.dump(document, handle)
+    print(
+        f"wrote {args.out}: {len(result.events)} events, "
+        f"{len(document['traceEvents'])} trace_event records "
+        f"(open at https://ui.perfetto.dev)"
+    )
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            lines = write_jsonl(result.events, handle)
+        print(f"wrote {args.jsonl}: {lines} JSONL records")
+    if args.metrics:
+        with open(args.metrics, "w") as handle:
+            json.dump(result.metrics, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.metrics}")
+
+    gauges = result.metrics.get("gauges", {})
+    counters = result.metrics.get("counters", {})
+    print(
+        f"\n{args.scheduler} on {args.config}, mix {args.mix}: "
+        f"makespan={result.makespan:.1f}ms "
+        f"migrations={counters.get('sched.migrations', 0)} "
+        f"switches={result.total_context_switches}"
+    )
+    print(
+        f"mean core utilization={gauges.get('core.mean_utilization', 0.0):.3f} "
+        f"mean rq depth={gauges.get('rq.mean_depth', 0.0):.3f} "
+        f"futex wait={gauges.get('futex.total_wait_ms', 0.0):.1f}ms"
+    )
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     ctx = _context(args)
     start = time.time()
@@ -142,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render figures as ASCII bar charts instead of tables",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="-v: INFO, -vv: DEBUG (scheduler decision logs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("train", help="run the Table 2 training pipeline").set_defaults(
         func=_cmd_train
@@ -175,12 +237,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--json", default=None, help="write results as JSON")
     run.set_defaults(func=_cmd_run)
+    trace = sub.add_parser(
+        "trace", help="trace one run (Perfetto/Chrome trace + metrics)"
+    )
+    trace.add_argument("--mix", default="Sync-2", help="Table 4 mix index")
+    trace.add_argument("--config", default="2B2S", help="2B2S/2B4S/4B2S/4B4S")
+    trace.add_argument(
+        "--scheduler", default="colab", help="linux/wash/colab/gts"
+    )
+    trace.add_argument(
+        "--out", default="trace.json", help="Chrome trace output path"
+    )
+    trace.add_argument(
+        "--jsonl", default=None, help="also write raw events as JSONL"
+    )
+    trace.add_argument(
+        "--metrics", default=None, help="also write the metrics snapshot JSON"
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="also profile host wall-clock hot paths",
+    )
+    trace.set_defaults(func=_cmd_trace)
     sub.add_parser("all", help="everything (long)").set_defaults(func=_cmd_all)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs.log import configure
+
     args = build_parser().parse_args(argv)
+    configure(verbosity=args.verbose)
     args.func(args)
     return 0
 

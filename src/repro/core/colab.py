@@ -30,6 +30,7 @@ from repro.core.labeler import LabelerConfig, MultiFactorLabeler
 from repro.core.preemption import ScaleSlicePolicy
 from repro.core.selector import BiasedGlobalSelector
 from repro.model.speedup import OracleSpeedupModel, SpeedupEstimator
+from repro.obs.tracer import EventKind
 from repro.schedulers.base import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -92,7 +93,7 @@ class COLABScheduler(Scheduler):
 
     def on_label_tick(self, now: float) -> None:
         machine = self._require_machine()
-        self.labeler.label(machine.tasks)
+        self.labeler.label(machine.tasks, profiler=machine.obs.profiler)
 
     # ------------------------------------------------------------------
     # Core allocation: hierarchical round-robin by label
@@ -135,7 +136,25 @@ class COLABScheduler(Scheduler):
             # Mirror decision counters into the common stats block.
             self.stats.local_picks = decision["local"]
             self.stats.steals = decision["cluster"] + decision["global"]
+            tracer = machine.obs.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    now, EventKind.DECISION,
+                    core_id=core.core_id, tid=task.tid, name=task.name,
+                    op="colab_pick", tier=self.selector.last_decision,
+                    blocking=task.blocking_level,
+                    speedup=task.predicted_speedup,
+                    label=task.core_label.name,
+                    vruntime=task.vruntime,
+                )
         return task
+
+    def publish_metrics(self, registry) -> None:
+        """Add COLAB's decision mix and labeling-pass count."""
+        super().publish_metrics(registry)
+        for tier, count in self.selector.decisions.items():
+            registry.gauge(f"colab.pick.{tier}").set(count)
+        registry.gauge("colab.label_passes").set(self.labeler.passes)
 
     # ------------------------------------------------------------------
     # Scale-slice preemption and equal-progress accounting

@@ -26,12 +26,17 @@ issuing core is big or little).
 
 from __future__ import annotations
 
+import logging
+from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.kernel.task import CoreLabel
 from repro.model.speedup import SpeedupEstimator
+from repro.obs.log import get_logger
 from repro.schedulers.labeling import refresh_estimates
+
+logger = get_logger("core.labeler")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.task import Task
@@ -63,13 +68,23 @@ class MultiFactorLabeler:
         #: Labeling passes performed (diagnostics).
         self.passes = 0
 
-    def label(self, tasks: Iterable["Task"]) -> None:
-        """Refresh estimates and relabel every live task."""
+    def label(self, tasks: Iterable["Task"], profiler=None) -> None:
+        """Refresh estimates and relabel every live task.
+
+        ``profiler`` is forwarded to :func:`refresh_estimates` to time the
+        speedup-model predictions.
+        """
         live = [t for t in tasks if not t.is_done]
-        refresh_estimates(live, self.estimator)
+        refresh_estimates(live, self.estimator, profiler=profiler)
         for task in live:
             task.core_label = self.classify(task)
         self.passes += 1
+        if live and logger.isEnabledFor(logging.DEBUG):
+            mix = Counter(t.core_label.name for t in live)
+            logger.debug(
+                "pass %d: %d live tasks, labels %s", self.passes, len(live),
+                dict(sorted(mix.items())),
+            )
 
     def classify(self, task: "Task") -> CoreLabel:
         """Pure labeling rule for one task (exposed for unit tests)."""

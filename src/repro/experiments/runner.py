@@ -113,22 +113,31 @@ def run_mix_once(
     config: str,
     scheduler_name: str,
     big_first: bool,
+    obs=None,
 ) -> RunResult:
-    """One simulation of ``mix`` on ``config`` under ``scheduler_name``."""
+    """One simulation of ``mix`` on ``config`` under ``scheduler_name``.
+
+    ``obs`` (a :class:`repro.obs.context.ObsConfig`, optional) enables
+    tracing/metrics/profiling for this run.  Observed runs bypass the
+    context's result cache in both directions: instrumentation must not
+    leak into the figure pipelines, and a cached bare result would lack
+    the requested events/metrics.
+    """
     key = (mix.index, config, scheduler_name, big_first)
-    if key in ctx._run_cache:
+    if obs is None and key in ctx._run_cache:
         return ctx._run_cache[key]
     topology = ctx.topology(config, big_first)
     machine = Machine(
         topology,
         ctx.make_scheduler(scheduler_name),
-        MachineConfig(seed=ctx.seed),
+        MachineConfig(seed=ctx.seed, obs=obs),
     )
     env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
     for instance in mix.instantiate(env):
         machine.add_program(instance)
     result = machine.run()
-    ctx._run_cache[key] = result
+    if obs is None:
+        ctx._run_cache[key] = result
     return result
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.errors import KernelError
 from repro.kernel.task import Task, TaskState
+from repro.obs.tracer import EventKind
 
 _futex_ids = itertools.count(1)
 
@@ -46,9 +47,16 @@ class FutexWaiter:
 
 
 class FutexTable:
-    """All futex wait-queues of one simulated machine."""
+    """All futex wait-queues of one simulated machine.
 
-    def __init__(self) -> None:
+    Args:
+        obs: Optional :class:`repro.obs.Observability` context.  When its
+            tracer is enabled every wait/wake emits a typed event; when its
+            metrics registry is enabled wait periods feed the
+            ``futex.wait_ms`` histogram.
+    """
+
+    def __init__(self, obs=None) -> None:
         self._queues: dict[int, deque[FutexWaiter]] = {}
         #: Total number of wait operations (diagnostics / Table 3 measurement).
         self.total_waits: int = 0
@@ -59,6 +67,12 @@ class FutexTable:
         self.waits_by_kind: dict[str, int] = {}
         #: Total number of wake operations.
         self.total_wakes: int = 0
+        self._tracer = obs.tracer if obs is not None else None
+        self._wait_hist = (
+            obs.metrics.histogram("futex.wait_ms")
+            if obs is not None and obs.metrics.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Wait side (futex_wait_queue_me analogue)
@@ -86,6 +100,11 @@ class FutexTable:
         )
         self.total_waits += 1
         self.waits_by_kind[kind] = self.waits_by_kind.get(kind, 0) + 1
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.emit(
+                now, EventKind.FUTEX_WAIT, tid=task.tid, name=task.name,
+                core_id=task.last_core_id, futex=futex_id, sync=kind,
+            )
 
     # ------------------------------------------------------------------
     # Wake side (wake_futex analogue)
@@ -127,6 +146,15 @@ class FutexTable:
             if waker is not None:
                 waker.caused_wait_time += waited
                 waker.caused_wait_window += waited
+            if self._wait_hist is not None:
+                self._wait_hist.observe(waited)
+            if self._tracer is not None and self._tracer.enabled:
+                self._tracer.emit(
+                    now, EventKind.FUTEX_WAKE, tid=task.tid, name=task.name,
+                    core_id=task.last_core_id, futex=futex_id,
+                    waited_ms=waited,
+                    waker=waker.tid if waker is not None else None,
+                )
             woken.append(task)
             self.total_wakes += 1
         if queue is not None and not queue:

@@ -41,6 +41,21 @@ class RunQueue:
         #: Monotonic watermark of the smallest vruntime ever at the head of
         #: this queue; used by CFS to place newly woken tasks fairly.
         self.min_vruntime: float = 0.0
+        #: Observability: time-weighted depth tracker + clock, installed by
+        #: the machine when metrics are enabled (None otherwise).
+        self._depth_tracker = None
+        self._clock = None
+
+    def attach_depth_tracker(self, clock, tracker) -> None:
+        """Publish queue-depth changes into ``tracker`` (obs wiring).
+
+        Args:
+            clock: Zero-argument callable returning the current simulated
+                time (the machine passes the engine clock).
+            tracker: A :class:`repro.obs.TimeWeighted` instrument.
+        """
+        self._clock = clock
+        self._depth_tracker = tracker
 
     # ------------------------------------------------------------------
     # Size / iteration
@@ -81,6 +96,8 @@ class RunQueue:
         self._by_tid[task.tid] = task
         self._keys[task.tid] = key
         task.rq_core_id = self.core_id
+        if self._depth_tracker is not None:
+            self._depth_tracker.update(self._clock(), len(self._by_tid))
 
     def dequeue(self, task: Task) -> None:
         """Remove a specific task (migration, or it was picked to run)."""
@@ -91,6 +108,8 @@ class RunQueue:
         self._tree.remove(self._keys.pop(task.tid))
         del self._by_tid[task.tid]
         task.rq_core_id = None
+        if self._depth_tracker is not None:
+            self._depth_tracker.update(self._clock(), len(self._by_tid))
 
     def requeue(self, task: Task) -> None:
         """Re-key a queued task after its vruntime (or key inputs) changed."""

@@ -1,0 +1,64 @@
+"""``repro.obs`` -- observability for the simulator stack.
+
+Structured tracing, a metrics registry, host-side profiling, and logging
+wiring, threaded through the machine, kernel machinery, and schedulers.
+Enable per run via :class:`ObsConfig`::
+
+    from repro import Machine, MachineConfig
+    from repro.obs import ObsConfig
+
+    machine = Machine(topo, sched, MachineConfig(obs=ObsConfig(trace=True,
+                                                               metrics=True)))
+    result = machine.run()
+    result.events       # typed TraceEvent records
+    result.metrics      # metrics snapshot (dict)
+
+or from the command line with ``colab-repro trace ...``, which writes a
+Perfetto-loadable Chrome trace plus a metrics JSON for one run.
+"""
+
+from repro.obs.context import Observability, ObsConfig
+from repro.obs.exporters import (
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.log import configure, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeWeighted,
+)
+from repro.obs.profiling import Profiler
+from repro.obs.tracer import (
+    SCHEMA_VERSION,
+    EventKind,
+    TraceEvent,
+    Tracer,
+    dispatch_slices,
+)
+
+__all__ = [
+    "Counter",
+    "EventKind",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ObsConfig",
+    "Profiler",
+    "SCHEMA_VERSION",
+    "TimeWeighted",
+    "TraceEvent",
+    "Tracer",
+    "configure",
+    "dispatch_slices",
+    "get_logger",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

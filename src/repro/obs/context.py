@@ -1,0 +1,60 @@
+"""The per-run observability context: config + tracer + metrics + profiler.
+
+One :class:`Observability` object accompanies each
+:class:`~repro.sim.machine.Machine` and is shared with the kernel pieces
+(runqueues, futex table) and the scheduler.  It bundles the three
+independent facilities so call sites hold a single reference:
+
+* :attr:`Observability.tracer` -- typed event trace
+  (:mod:`repro.obs.tracer`);
+* :attr:`Observability.metrics` -- metrics registry
+  (:mod:`repro.obs.metrics`);
+* :attr:`Observability.profiler` -- host wall-clock profiling
+  (:mod:`repro.obs.profiling`).
+
+Each facility is individually switchable through :class:`ObsConfig`; the
+default-constructed context has everything off and is what every run gets
+when observability was not requested -- its per-event cost is the guard
+branches only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import Profiler
+from repro.obs.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Which observability facilities to enable for a run."""
+
+    #: Record typed trace events (dispatches, migrations, decisions, ...).
+    trace: bool = False
+    #: Publish metrics (counters / gauges / histograms) into the result.
+    metrics: bool = False
+    #: Measure host wall-clock time of engine/scheduler/model hot paths.
+    profile: bool = False
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.trace or self.metrics or self.profile
+
+
+class Observability:
+    """The bundle of per-run observability facilities."""
+
+    __slots__ = ("config", "tracer", "metrics", "profiler")
+
+    def __init__(self, config: ObsConfig | None = None) -> None:
+        self.config = config or ObsConfig()
+        self.tracer = Tracer(enabled=self.config.trace)
+        self.metrics = MetricsRegistry(enabled=self.config.metrics)
+        self.profiler = Profiler(enabled=self.config.profile)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """An all-off context (the default for untraced runs)."""
+        return cls(ObsConfig())

@@ -1,0 +1,188 @@
+"""Trace exporters: JSONL and Chrome/Perfetto ``trace_event`` format.
+
+Two complementary outputs of the same typed event stream:
+
+* :func:`to_jsonl` / :func:`write_jsonl` -- one JSON object per line,
+  lossless, for programmatic analysis (pandas, jq, ...);
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` -- the Chrome
+  ``trace_event`` JSON Array Format, loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Each simulated core
+  becomes one named track (thread) of a single "machine" process;
+  dispatch/deschedule pairs become complete ("X") duration slices named
+  after the running task, and migrations / DVFS transitions / scheduler
+  decisions become instant ("i") events on the affected core's track.
+
+Simulated time is in milliseconds; the Chrome format wants microseconds,
+so timestamps are multiplied by 1000 on export.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.obs.tracer import SCHEMA_VERSION, EventKind, TraceEvent, dispatch_slices
+
+#: trace_event phase codes used below.
+_PH_COMPLETE = "X"
+_PH_INSTANT = "i"
+_PH_METADATA = "M"
+
+#: Event kinds rendered as instants on their core's track.
+_INSTANT_KINDS = (
+    EventKind.MIGRATE,
+    EventKind.DVFS,
+    EventKind.DECISION,
+    EventKind.FUTEX_WAIT,
+    EventKind.FUTEX_WAKE,
+    EventKind.LABEL,
+)
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> list[str]:
+    """One compact JSON document per event, schema-versioned via field 'v'."""
+    lines = []
+    for event in events:
+        record = event.to_dict()
+        record["v"] = SCHEMA_VERSION
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+def write_jsonl(events: Iterable[TraceEvent], handle: IO[str]) -> int:
+    """Write events as JSONL; returns the number of lines written."""
+    count = 0
+    for line in to_jsonl(events):
+        handle.write(line + "\n")
+        count += 1
+    return count
+
+
+def _ms_to_us(time_ms: float) -> float:
+    return time_ms * 1000.0
+
+
+def to_chrome_trace(
+    events: list[TraceEvent],
+    metadata: dict | None = None,
+    end_time: float | None = None,
+) -> dict:
+    """Build a Chrome ``trace_event`` document from a typed event stream.
+
+    Args:
+        events: Trace in emission order (as recorded by the tracer).
+        metadata: Run-level context from ``Tracer.metadata``; recognised
+            keys: ``cores`` (core_id -> kind string), ``scheduler``,
+            ``topology``.
+        end_time: Timestamp closing still-running slices (the makespan).
+            Defaults to the last event's timestamp.
+
+    Returns:
+        ``{"traceEvents": [...], "displayTimeUnit": "ms", ...}`` -- JSON
+        serialisable and directly loadable in Perfetto.
+    """
+    metadata = metadata or {}
+    if end_time is None:
+        end_time = events[-1].time if events else 0.0
+
+    trace_events: list[dict] = []
+    core_kinds: dict = metadata.get("cores", {})
+    process_name = "machine"
+    if metadata.get("scheduler") or metadata.get("topology"):
+        process_name = (
+            f"{metadata.get('topology', 'machine')}"
+            f" [{metadata.get('scheduler', '?')}]"
+        )
+    trace_events.append(
+        {
+            "ph": _PH_METADATA,
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    )
+
+    seen_cores = sorted(
+        {e.core_id for e in events if e.core_id is not None} | set(core_kinds)
+    )
+    for core_id in seen_cores:
+        kind = core_kinds.get(core_id)
+        label = f"core {core_id}" + (f" ({kind})" if kind else "")
+        trace_events.append(
+            {
+                "ph": _PH_METADATA,
+                "name": "thread_name",
+                "pid": 0,
+                "tid": core_id,
+                "args": {"name": label},
+            }
+        )
+        # Keep Perfetto's track order aligned with core ids.
+        trace_events.append(
+            {
+                "ph": _PH_METADATA,
+                "name": "thread_sort_index",
+                "pid": 0,
+                "tid": core_id,
+                "args": {"sort_index": core_id},
+            }
+        )
+
+    for start, end, core_id, tid, name in dispatch_slices(events, end_time):
+        trace_events.append(
+            {
+                "ph": _PH_COMPLETE,
+                "name": name,
+                "cat": "run",
+                "pid": 0,
+                "tid": core_id,
+                "ts": _ms_to_us(start),
+                "dur": max(0.0, _ms_to_us(end - start)),
+                "args": {"tid": tid},
+            }
+        )
+
+    for event in events:
+        if event.kind not in _INSTANT_KINDS:
+            continue
+        args = dict(event.args or {})
+        if event.tid is not None:
+            args.setdefault("tid", event.tid)
+        if event.name is not None:
+            args.setdefault("task", event.name)
+        trace_events.append(
+            {
+                "ph": _PH_INSTANT,
+                "name": event.kind.value,
+                "cat": event.kind.value,
+                "pid": 0,
+                "tid": event.core_id if event.core_id is not None else 0,
+                "ts": _ms_to_us(event.time),
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": SCHEMA_VERSION,
+            **{
+                k: v
+                for k, v in metadata.items()
+                if k in ("scheduler", "topology", "seed")
+            },
+        },
+    }
+
+
+def write_chrome_trace(
+    events: list[TraceEvent],
+    handle: IO[str],
+    metadata: dict | None = None,
+    end_time: float | None = None,
+) -> None:
+    """Serialise :func:`to_chrome_trace` output to ``handle``."""
+    json.dump(to_chrome_trace(events, metadata=metadata, end_time=end_time), handle)

@@ -1,0 +1,62 @@
+"""Logging wiring for the ``repro`` package.
+
+All modules obtain loggers through :func:`get_logger`, which namespaces
+them under ``"repro"`` so one :func:`configure` call controls the whole
+package.  The CLI maps its ``-v/--verbose`` count straight onto
+:func:`configure`:
+
+=========  =========  ==================================================
+verbosity  level      what you see
+=========  =========  ==================================================
+0          WARNING    problems only (default)
+1          INFO       per-run progress (runs started/finished, exports)
+2+         DEBUG      per-decision detail (COLAB selector tiers, label
+                      distributions, WASH affinity pins)
+=========  =========  ==================================================
+
+Decision-path DEBUG statements guard with ``logger.isEnabledFor`` before
+formatting, so leaving logging unconfigured costs one level check.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Root logger name of the package.
+ROOT = "repro"
+
+_LEVELS = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the package namespace (``repro.<name>``)."""
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install a handler on the package root at the mapped level.
+
+    Args:
+        verbosity: 0 = WARNING, 1 = INFO, >= 2 = DEBUG.
+        stream: Target stream (default: stderr).
+
+    Returns:
+        The configured package root logger.  Calling again replaces the
+        previously installed handler instead of stacking duplicates.
+    """
+    level = _LEVELS.get(min(verbosity, 2), logging.DEBUG)
+    root = logging.getLogger(ROOT)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+    )
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.propagate = False
+    return root

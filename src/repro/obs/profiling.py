@@ -1,0 +1,59 @@
+"""Wall-clock profiling of the simulator's host-side hot paths.
+
+The simulated clock tells us nothing about where *host* CPU time goes;
+before optimising the engine loop or the schedulers we need attribution.
+:class:`Profiler` accumulates wall-clock time per named section:
+
+* ``engine.run`` -- the whole event loop;
+* ``engine.handle.<KIND>`` -- per-event-kind handler time;
+* ``scheduler.pick_next`` / ``scheduler.select_core`` /
+  ``scheduler.on_label_tick`` -- the policy callbacks;
+* ``model.estimate`` -- runtime speedup-model predictions.
+
+Disabled profilers cost one attribute read per call site (the machine and
+engine check :attr:`Profiler.enabled` before touching the clock), keeping
+the default path unperturbed.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class Profiler:
+    """Accumulates wall-clock seconds per named section."""
+
+    __slots__ = ("enabled", "_totals", "_counts")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    def start(self) -> float:
+        """Timestamp for a section about to run (pairs with :meth:`stop`)."""
+        return perf_counter()
+
+    def stop(self, name: str, started: float) -> None:
+        """Charge the time since ``started`` to section ``name``."""
+        elapsed = perf_counter() - started
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Charge an externally measured duration to ``name``."""
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def snapshot(self) -> dict:
+        """``name -> {total_s, count, mean_us}`` for every section."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._totals):
+            total = self._totals[name]
+            count = self._counts[name]
+            out[name] = {
+                "total_s": total,
+                "count": count,
+                "mean_us": (total / count) * 1e6 if count else 0.0,
+            }
+        return out

@@ -142,6 +142,19 @@ class Scheduler(abc.ABC):
     def on_task_done(self, task: "Task", now: float) -> None:
         """Notification that ``task`` finished."""
 
+    def publish_metrics(self, registry) -> None:
+        """Publish end-of-run policy metrics into the registry.
+
+        Called once by the machine while building the result (only when
+        metrics are enabled).  The default publishes every numeric field
+        of :class:`SchedulerStats` under ``scheduler.<field>``; policies
+        override to add their own signals (decision mixes, load averages,
+        pin counts) and should call ``super().publish_metrics(registry)``.
+        """
+        for field_name, value in vars(self.stats).items():
+            if isinstance(value, (int, float)):
+                registry.gauge(f"scheduler.{field_name}").set(value)
+
     def curr_vruntime(self, core: "Core", now: float) -> float:
         """Up-to-date vruntime of the running task, without descheduling.
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.tracer import EventKind
 from repro.schedulers.base import Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -154,6 +155,15 @@ class CFSScheduler(Scheduler):
                 if candidate.allows_core(core.core_id):
                     donor.rq.dequeue(candidate)
                     self.stats.steals += 1
+                    tracer = machine.obs.tracer
+                    if tracer.enabled:
+                        tracer.emit(
+                            machine.engine.now, EventKind.DECISION,
+                            core_id=core.core_id, tid=candidate.tid,
+                            name=candidate.name, op="idle_balance",
+                            from_core=donor.core_id,
+                            donor_depth=len(donor.rq) + 1,
+                        )
                     return candidate
         return None
 

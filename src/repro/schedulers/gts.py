@@ -107,6 +107,15 @@ class GTSScheduler(CFSScheduler):
                 self.stats.affinity_updates += 1
             self._enforce(task, now)
 
+    def publish_metrics(self, registry) -> None:
+        """Add the load-tracking view: mean/max smoothed load averages."""
+        super().publish_metrics(registry)
+        if self._load:
+            loads = list(self._load.values())
+            registry.gauge("gts.mean_load").set(sum(loads) / len(loads))
+            registry.gauge("gts.max_load").set(max(loads))
+            registry.gauge("gts.tracked_tasks").set(len(loads))
+
     def _enforce(self, task: "Task", now: float) -> None:
         """Migrate a queued/running task off a cluster its mask forbids."""
         machine = self._require_machine()

@@ -28,13 +28,18 @@ unchanged from :class:`~repro.schedulers.cfs.CFSScheduler`.
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.model.speedup import OracleSpeedupModel, SpeedupEstimator
+from repro.obs.log import get_logger
+from repro.obs.tracer import EventKind
 from repro.schedulers.cfs import CFSScheduler
 from repro.schedulers.labeling import refresh_estimates
+
+logger = get_logger("schedulers.wash")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.task import Task
@@ -103,7 +108,7 @@ class WASHScheduler(CFSScheduler):
         alive = [t for t in machine.tasks if not t.is_done]
         if not alive:
             return
-        refresh_estimates(alive, self.estimator)
+        refresh_estimates(alive, self.estimator, profiler=machine.obs.profiler)
         self._update_affinities(alive, now)
 
     # ------------------------------------------------------------------
@@ -130,12 +135,40 @@ class WASHScheduler(CFSScheduler):
         machine = self._require_machine()
         big_ids = frozenset(c.core_id for c in machine.big_cores)
         scores = self._mixed_scores(tasks)
+        tracer = machine.obs.tracer
         for task, score in zip(tasks, scores):
             new_affinity = big_ids if score > self.pin_threshold else None
             if task.affinity != new_affinity:
                 task.affinity = new_affinity
                 self.stats.affinity_updates += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        now, EventKind.DECISION, tid=task.tid,
+                        name=task.name, core_id=task.last_core_id,
+                        op="wash_affinity",
+                        pinned_big=new_affinity is not None,
+                        score=float(score),
+                        speedup=task.predicted_speedup,
+                        blocking=task.blocking_level,
+                    )
+                if logger.isEnabledFor(logging.DEBUG):
+                    logger.debug(
+                        "t=%.3f %s %s (score=%.3f)", now, task.name,
+                        "pinned to big" if new_affinity else "unpinned",
+                        score,
+                    )
             self._enforce_affinity(task, now)
+
+    def publish_metrics(self, registry) -> None:
+        """Add the affinity view: how many live tasks ended up pinned."""
+        super().publish_metrics(registry)
+        machine = self._require_machine()
+        pinned = sum(
+            1
+            for t in machine.tasks
+            if not t.is_done and t.affinity is not None
+        )
+        registry.gauge("wash.pinned_tasks").set(pinned)
 
     def _enforce_affinity(self, task: "Task", now: float) -> None:
         """Eagerly move a task off a core its mask now forbids."""

@@ -56,6 +56,10 @@ class Engine:
         self.now: float = 0.0
         #: Set to stop the loop after the in-flight event completes.
         self._stopped = False
+        #: Optional wall-clock profiler (:class:`repro.obs.Profiler`);
+        #: when set and enabled, :meth:`run` times the whole loop and
+        #: :meth:`step` attributes handler time per event kind.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Registration and queueing
@@ -126,7 +130,13 @@ class Engine:
         handler = self._handlers.get(event.kind)
         if handler is None:
             raise SimulationError(f"no handler registered for {event.kind.name}")
-        handler(event)
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            started = profiler.start()
+            handler(event)
+            profiler.stop(f"engine.handle.{event.kind.name}", started)
+        else:
+            handler(event)
         return event
 
     def run(self, until: float | None = None) -> None:
@@ -137,7 +147,13 @@ class Engine:
                 timestamp (the frontier event is left queued).
         """
         self._stopped = False
+        profiler = self.profiler
+        started = (
+            profiler.start() if profiler is not None and profiler.enabled else None
+        )
         while self._heap and not self._stopped:
             if until is not None and self._heap[0].time > until:
                 break
             self.step()
+        if started is not None:
+            profiler.stop("engine.run", started)

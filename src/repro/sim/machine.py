@@ -30,6 +30,7 @@ useful work retires.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +39,9 @@ from repro.errors import SchedulerError, SimulationError
 from repro.kernel.futex import FutexTable
 from repro.kernel.runqueue import RunQueue
 from repro.kernel.task import Task, TaskState
+from repro.obs.context import Observability, ObsConfig
+from repro.obs.tracer import EventKind as TraceKind
+from repro.obs.tracer import TraceEvent
 from repro.sim.core import Core, CoreKind
 from repro.sim.counters import PerformanceCounters
 from repro.sim.engine import Engine
@@ -79,8 +83,16 @@ class MachineConfig:
     migration_cost: float = 0.08
     #: Cap on zero-time actions processed per resume (livelock guard).
     max_actions_per_advance: int = 100_000
-    #: Record a (time, core_id, tid) dispatch trace.
+    #: Record a dispatch trace.
+    #:
+    #: .. deprecated:: compatibility shim.  ``trace=True`` now enables the
+    #:    structured tracer (:mod:`repro.obs`) and ``RunResult.trace`` is
+    #:    derived from its typed DISPATCH events; prefer
+    #:    ``obs=ObsConfig(trace=True)`` and ``RunResult.events``.
     trace: bool = False
+    #: Observability switches (:class:`repro.obs.ObsConfig`): structured
+    #: tracing, metrics registry, host-side profiling.
+    obs: ObsConfig | None = None
     #: Optional per-cluster frequency scaling policy
     #: (:class:`repro.sim.dvfs.DVFSPolicy`).
     dvfs: object | None = None
@@ -118,9 +130,23 @@ class RunResult:
     total_context_switches: int
     total_migrations: int
     core_busy_time: dict[int, float]
+    #: Legacy ``(time, core_id, tid)`` dispatch tuples.
+    #:
+    #: .. deprecated:: compatibility shim derived from the typed trace --
+    #:    every DISPATCH event of :attr:`events` projected to a tuple.
+    #:    New code should read :attr:`events` instead.
     trace: list[tuple[float, int, int]] = field(default_factory=list)
     #: core_id -> {frequency scale -> busy ms} (DVFS residency).
     core_busy_by_scale: dict[int, dict[float, float]] = field(default_factory=dict)
+    #: Typed trace records (:class:`repro.obs.TraceEvent`); empty unless
+    #: the run enabled tracing.
+    events: list[TraceEvent] = field(default_factory=list)
+    #: Metrics snapshot (:meth:`repro.obs.MetricsRegistry.snapshot`, plus
+    #: a ``"profile"`` section when profiling ran); empty unless enabled.
+    metrics: dict = field(default_factory=dict)
+    #: Run-level trace context (topology/scheduler/seed/core kinds) for
+    #: the exporters; empty unless the run enabled tracing.
+    trace_metadata: dict = field(default_factory=dict)
 
     def turnaround_of(self, app_name: str) -> float:
         """Turnaround of the (unique) application called ``app_name``."""
@@ -147,23 +173,45 @@ class Machine:
     ) -> None:
         self.topology = topology
         self.config = config or MachineConfig()
+        self.obs = self._build_obs(self.config)
+        # Hot-path aliases: one attribute read + branch when disabled.
+        self._tracer = self.obs.tracer
+        self._profiler = self.obs.profiler
+        self._metrics_on = self.obs.metrics.enabled
         self.engine = Engine()
+        if self._profiler.enabled:
+            self.engine.profiler = self._profiler
         self.cores: list[Core] = topology.build_cores()
         for core in self.cores:
             core.rq = RunQueue(core.core_id)
             core.stats["last_tid"] = None
+            if self._metrics_on:
+                core.rq.attach_depth_tracker(
+                    lambda: self.engine.now,
+                    self.obs.metrics.time_weighted(f"rq.{core.core_id}.depth"),
+                )
         self.big_cores = [c for c in self.cores if c.kind is CoreKind.BIG]
         self.little_cores = [c for c in self.cores if c.kind is CoreKind.LITTLE]
-        self.futexes = FutexTable()
+        self.futexes = FutexTable(obs=self.obs)
         self.rng = np.random.default_rng(self.config.seed)
         self.scheduler = scheduler
         scheduler.attach(self)
+        if self._tracer.enabled:
+            self._tracer.metadata = {
+                "topology": topology.name,
+                "scheduler": scheduler.name,
+                "seed": self.config.seed,
+                "cores": {c.core_id: c.kind.value for c in self.cores},
+            }
+        if self._metrics_on:
+            self._m_dispatches = self.obs.metrics.counter("sched.dispatches")
+            self._m_migrations = self.obs.metrics.counter("sched.migrations")
+            self._m_switches = self.obs.metrics.counter("sched.context_switches")
 
         self.tasks: list[Task] = []
         self.app_names: dict[int, str] = {}
         self._done_count = 0
         self._dispatch_pending: set[int] = set()
-        self._trace: list[tuple[float, int, int]] = []
         self._ran = False
 
         self.engine.register(EventKind.SEGMENT_DONE, self._on_segment_done)
@@ -171,6 +219,19 @@ class Machine:
         self.engine.register(EventKind.WAKEUP, self._on_timed_wakeup)
         self.engine.register(EventKind.LABEL, self._on_label)
         self.engine.register(EventKind.CALLBACK, self._on_dvfs)
+
+    @staticmethod
+    def _build_obs(config: MachineConfig) -> Observability:
+        """Resolve the observability context, honouring the legacy flag."""
+        obs_config = config.obs
+        if config.trace:
+            if obs_config is None:
+                obs_config = ObsConfig(trace=True)
+            elif not obs_config.trace:
+                obs_config = dataclasses.replace(obs_config, trace=True)
+        if obs_config is None:
+            return Observability.disabled()
+        return Observability(obs_config)
 
     # ------------------------------------------------------------------
     # Workload registration
@@ -277,6 +338,11 @@ class Machine:
         task.mark_ready()
         core.current = None
         core.bump_version()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                now, TraceKind.DESCHEDULE, core_id=core.core_id,
+                tid=task.tid, name=task.name, reason="slice_expiry",
+            )
         self.scheduler.enqueue(core, task, now, is_new=False)
         self._dispatch_pending.add(core.core_id)
         self._drain(now)
@@ -325,6 +391,11 @@ class Machine:
         task = core.current
         if task is not None:
             self._account(core, now)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                now, TraceKind.DVFS, core_id=core.core_id,
+                scale=scale, prev_scale=core.freq_scale,
+            )
         core.freq_scale = scale
         if task is not None:
             core.bump_version()
@@ -342,8 +413,18 @@ class Machine:
 
     def _on_label(self, event: Event) -> None:
         now = self.engine.now
-        self.scheduler.on_label_tick(now)
+        if self._profiler.enabled:
+            started = self._profiler.start()
+            self.scheduler.on_label_tick(now)
+            self._profiler.stop("scheduler.on_label_tick", started)
+        else:
+            self.scheduler.on_label_tick(now)
         self.scheduler.stats.label_passes += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                now, TraceKind.LABEL, name=self.scheduler.name,
+                pass_index=self.scheduler.stats.label_passes,
+            )
         period = self.scheduler.label_period()
         if period is not None and self._done_count < len(self.tasks):
             self.engine.push(Event(time=now + period, kind=EventKind.LABEL))
@@ -362,7 +443,12 @@ class Machine:
                 self._dispatch(core, now)
 
     def _dispatch(self, core: Core, now: float) -> None:
-        task = self.scheduler.pick_next(core, now)
+        if self._profiler.enabled:
+            started = self._profiler.start()
+            task = self.scheduler.pick_next(core, now)
+            self._profiler.stop("scheduler.pick_next", started)
+        else:
+            task = self.scheduler.pick_next(core, now)
         if task is None:
             return
         self.scheduler.stats.picks += 1
@@ -385,10 +471,13 @@ class Machine:
             )
         # Scheduling-cost model: switch cost if the core changes task,
         # migration cost if the task changes core.
-        if core.stats["last_tid"] != task.tid:
+        switched = core.stats["last_tid"] != task.tid
+        prev_core_id = task.last_core_id
+        migrated = prev_core_id is not None and prev_core_id != core.core_id
+        if switched:
             core.context_switches += 1
             task.pending_penalty += self.config.context_switch_cost
-        if task.last_core_id is not None and task.last_core_id != core.core_id:
+        if migrated:
             task.migrations += 1
             core.migrations_in += 1
             task.pending_penalty += self.config.migration_cost
@@ -399,8 +488,22 @@ class Machine:
         core.current = task
         core.run_started = now
         core.bump_version()
-        if self.config.trace:
-            self._trace.append((now, core.core_id, task.tid))
+        if self._metrics_on:
+            self._m_dispatches.inc()
+            if switched:
+                self._m_switches.inc()
+            if migrated:
+                self._m_migrations.inc()
+        if self._tracer.enabled:
+            if migrated:
+                self._tracer.emit(
+                    now, TraceKind.MIGRATE, core_id=core.core_id,
+                    tid=task.tid, name=task.name, from_core=prev_core_id,
+                )
+            self._tracer.emit(
+                now, TraceKind.DISPATCH, core_id=core.core_id,
+                tid=task.tid, name=task.name, app=task.app_id,
+            )
 
         if task.current_segment is None:
             outcome = self._advance(task, core, now)
@@ -480,7 +583,12 @@ class Machine:
             if isinstance(action, PipeGet):
                 task.pending_result = action.pipe.collect_delivery(task)
         task.mark_ready()
-        core = self.scheduler.select_core(task, now)
+        if self._profiler.enabled:
+            started = self._profiler.start()
+            core = self.scheduler.select_core(task, now)
+            self._profiler.stop("scheduler.select_core", started)
+        else:
+            core = self.scheduler.select_core(task, now)
         if not task.allows_core(core.core_id):
             raise SchedulerError(
                 f"{self.scheduler.name} allocated {task.name} to core "
@@ -510,6 +618,11 @@ class Machine:
         core.current = None
         core.bump_version()
         core.preemptions += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                now, TraceKind.DESCHEDULE, core_id=core.core_id,
+                tid=task.tid, name=task.name, reason="wakeup_preemption",
+            )
         self.scheduler.enqueue(core, task, now, is_new=False)
         self._dispatch_pending.add(core.core_id)
 
@@ -530,6 +643,11 @@ class Machine:
         core.bump_version()
         core.preemptions += 1
         self.scheduler.stats.running_preemptions += 1
+        if self._tracer.enabled:
+            self._tracer.emit(
+                now, TraceKind.DESCHEDULE, core_id=core.core_id,
+                tid=task.tid, name=task.name, reason="forced_preemption",
+            )
         self._dispatch_pending.add(core.core_id)
         return task
 
@@ -583,6 +701,11 @@ class Machine:
                 task.mark_sleeping()
                 core.current = None
                 core.bump_version()
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        now, TraceKind.DESCHEDULE, core_id=core.core_id,
+                        tid=task.tid, name=task.name, reason="blocked",
+                    )
                 self._dispatch_pending.add(core.core_id)
                 return "blocked"
             # Zero-time action completed; the wakeups it caused may have
@@ -682,6 +805,11 @@ class Machine:
         task.mark_done(now)
         core.current = None
         core.bump_version()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                now, TraceKind.DESCHEDULE, core_id=core.core_id,
+                tid=task.tid, name=task.name, reason="done",
+            )
         self._done_count += 1
         self.scheduler.on_task_done(task, now)
         self._dispatch_pending.add(core.core_id)
@@ -713,10 +841,17 @@ class Machine:
             )
             for t in self.tasks
         ]
+        makespan = max(app_turnaround.values())
+        events = self._tracer.events
+        legacy_trace = [
+            (e.time, e.core_id, e.tid)
+            for e in events
+            if e.kind is TraceKind.DISPATCH
+        ]
         return RunResult(
             topology_name=self.topology.name,
             scheduler_name=self.scheduler.name,
-            makespan=max(app_turnaround.values()),
+            makespan=makespan,
             app_turnaround=app_turnaround,
             app_names=dict(self.app_names),
             tasks=task_stats,
@@ -724,9 +859,64 @@ class Machine:
             total_context_switches=sum(c.context_switches for c in self.cores),
             total_migrations=sum(t.migrations for t in self.tasks),
             core_busy_time={c.core_id: c.busy_time for c in self.cores},
-            trace=self._trace,
+            trace=legacy_trace,
             core_busy_by_scale={
                 c.core_id: dict(c.stats.get("busy_by_scale", {}))
                 for c in self.cores
             },
+            events=events,
+            metrics=self._snapshot_metrics(makespan),
+            trace_metadata=dict(self._tracer.metadata),
         )
+
+    def _snapshot_metrics(self, makespan: float) -> dict:
+        """Fill end-of-run aggregates and snapshot the registry."""
+        registry = self.obs.metrics
+        if not registry.enabled:
+            if self._profiler.enabled:
+                return {"profile": self._profiler.snapshot()}
+            return {}
+        registry.gauge("run.makespan_ms").set(makespan)
+        registry.gauge("run.tasks").set(len(self.tasks))
+        busy_total = 0.0
+        for core in self.cores:
+            busy_total += core.busy_time
+            utilization = core.busy_time / makespan if makespan > 0 else 0.0
+            registry.gauge(f"core.{core.core_id}.utilization").set(utilization)
+            registry.gauge(f"core.{core.core_id}.busy_ms").set(core.busy_time)
+            registry.gauge(f"core.{core.core_id}.preemptions").set(
+                core.preemptions
+            )
+        if self.cores and makespan > 0:
+            registry.gauge("core.mean_utilization").set(
+                busy_total / (makespan * len(self.cores))
+            )
+        total_migrations = sum(t.migrations for t in self.tasks)
+        if makespan > 0:
+            registry.gauge("sched.migration_rate_per_s").set(
+                total_migrations / (makespan / 1000.0)
+            )
+        live_vruntimes = [t.vruntime for t in self.tasks]
+        if live_vruntimes:
+            registry.gauge("sched.vruntime_spread_ms").set(
+                max(live_vruntimes) - min(live_vruntimes)
+            )
+        registry.counter("futex.waits").value = float(self.futexes.total_waits)
+        registry.counter("futex.wakes").value = float(self.futexes.total_wakes)
+        registry.gauge("futex.total_wait_ms").set(
+            registry.histogram("futex.wait_ms").total
+        )
+        depth_means = []
+        for core in self.cores:
+            tracker = registry.time_weighted(f"rq.{core.core_id}.depth")
+            tracker.finish(makespan)
+            depth_means.append(tracker.mean())
+        if depth_means:
+            registry.gauge("rq.mean_depth").set(
+                sum(depth_means) / len(depth_means)
+            )
+        self.scheduler.publish_metrics(registry)
+        snapshot = registry.snapshot()
+        if self._profiler.enabled:
+            snapshot["profile"] = self._profiler.snapshot()
+        return snapshot

@@ -50,6 +50,40 @@ class TestOccupancy:
         with pytest.raises(ExperimentError):
             occupancy_rows(result, {}, n_cores=2, buckets=0)
 
+    def test_zero_duration_run_rejected(self):
+        """Regression: a zero-makespan trace must not divide by zero."""
+        from repro.sim.machine import RunResult
+
+        result = RunResult(
+            topology_name="1B1S",
+            scheduler_name="linux",
+            makespan=0.0,
+            app_turnaround={},
+            app_names={},
+            tasks=[],
+            scheduler_stats=None,
+            total_context_switches=0,
+            total_migrations=0,
+            core_busy_time={},
+            trace=[(0.0, 0, 1)],
+        )
+        with pytest.raises(ExperimentError, match="zero-duration"):
+            occupancy_rows(result, {1: 0}, n_cores=1)
+
+    def test_typed_events_preferred_over_legacy_tuples(self):
+        machine, result = traced_run()
+        assert result.events  # the shim records typed events too
+        tid_to_app = {t.tid: t.app_id for t in machine.tasks}
+        rows = occupancy_rows(result, tid_to_app, n_cores=2, buckets=16)
+        # Dropping the typed events falls back to the legacy path; both
+        # views agree on which buckets are busy with which app.
+        result.events = []
+        legacy_rows = occupancy_rows(result, tid_to_app, n_cores=2, buckets=16)
+        for core in rows:
+            for typed, legacy in zip(rows[core], legacy_rows[core]):
+                if typed is not None and legacy is not None:
+                    assert typed == legacy
+
 
 class TestUtilization:
     def test_fractions_in_unit_interval(self):

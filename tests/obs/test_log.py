@@ -1,0 +1,60 @@
+"""Logging wiring tests: namespacing and verbosity mapping."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs.log import ROOT, configure, get_logger
+
+
+def root_logger() -> logging.Logger:
+    return logging.getLogger(ROOT)
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        logger = get_logger("core.selector")
+        assert logger.name == f"{ROOT}.core.selector"
+
+    def test_already_qualified_name_untouched(self):
+        logger = get_logger(f"{ROOT}.sim")
+        assert logger.name == f"{ROOT}.sim"
+
+
+class TestConfigure:
+    def teardown_method(self):
+        # Leave the process-wide logger quiet for the other tests.
+        configure(verbosity=0)
+
+    def test_verbosity_levels(self):
+        configure(verbosity=0)
+        assert root_logger().level == logging.WARNING
+        configure(verbosity=1)
+        assert root_logger().level == logging.INFO
+        configure(verbosity=2)
+        assert root_logger().level == logging.DEBUG
+        configure(verbosity=9)
+        assert root_logger().level == logging.DEBUG
+
+    def test_reconfigure_replaces_handler(self):
+        configure(verbosity=1)
+        configure(verbosity=2)
+        marked = [
+            h
+            for h in root_logger().handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(marked) == 1
+
+    def test_debug_messages_reach_the_stream(self):
+        stream = io.StringIO()
+        configure(verbosity=2, stream=stream)
+        get_logger("unit.test").debug("hello from %s", "test")
+        assert "hello from test" in stream.getvalue()
+
+    def test_warning_level_suppresses_debug(self):
+        stream = io.StringIO()
+        configure(verbosity=0, stream=stream)
+        get_logger("unit.test").debug("should not appear")
+        assert stream.getvalue() == ""

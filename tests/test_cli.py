@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "train", "tables", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "summary", "run", "all",
+            "fig9", "summary", "run", "trace", "all",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -40,6 +40,25 @@ class TestParser:
         assert args.config == "4B2S"
         assert args.schedulers == "linux,gts"
         assert args.json == "/tmp/x.json"
+
+    def test_verbose_flag_counts(self):
+        parser = build_parser()
+        assert parser.parse_args(["summary"]).verbose == 0
+        assert parser.parse_args(["-v", "summary"]).verbose == 1
+        assert parser.parse_args(["-vv", "summary"]).verbose == 2
+
+    def test_trace_options(self):
+        args = build_parser().parse_args(
+            ["trace", "--mix", "Comm-1", "--scheduler", "wash",
+             "--out", "/tmp/t.json", "--jsonl", "/tmp/t.jsonl",
+             "--metrics", "/tmp/m.json", "--profile"]
+        )
+        assert args.mix == "Comm-1"
+        assert args.scheduler == "wash"
+        assert args.out == "/tmp/t.json"
+        assert args.jsonl == "/tmp/t.jsonl"
+        assert args.metrics == "/tmp/m.json"
+        assert args.profile
 
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -68,3 +87,38 @@ class TestRunCommand:
         assert payload["count"] == 2
         schedulers = {p["scheduler"] for p in payload["points"]}
         assert schedulers == {"linux", "colab"}
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_trace_and_metrics(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "--scale", "0.05", "--oracle",
+                "trace", "--mix", "Sync-1", "--config", "2B2S",
+                "--scheduler", "colab", "--out", str(out),
+                "--jsonl", str(jsonl), "--metrics", str(metrics),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "perfetto" in stdout.lower()
+        assert "makespan" in stdout
+
+        document = json.loads(out.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in document["traceEvents"]}
+        assert {"M", "X"} <= phases  # per-core tracks + duration slices
+
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
+
+        snapshot = json.loads(metrics.read_text())
+        assert "sched.migrations" in snapshot["counters"]
+        assert "core.0.utilization" in snapshot["gauges"]
+        assert "rq.mean_depth" in snapshot["gauges"]
+        assert "futex.total_wait_ms" in snapshot["gauges"]

@@ -1,0 +1,137 @@
+"""schedsan overhead: the disabled sanitizer must be effectively free.
+
+schedsan's wiring contract (``repro.sanitize.schedsan``) mirrors the
+observability one: every hook site guards with ``if self._sanitizer is
+not None:`` before doing anything, so a run built without
+``sanitize=True`` pays only attribute reads and branches.  This bench
+checks that contract on a reference run:
+
+* time the same (mix, config, scheduler, seed) run with the sanitizer
+  off and on, on fresh machines each round (wall-clock medians over
+  several rounds);
+* measure the per-site cost of the disabled None-guard directly and
+  scale it by the number of checks the sanitized run executed -- an
+  upper bound on what the dormant hooks add to a plain run;
+* assert that bound stays under 5% of the plain run's wall time, and
+  write ``BENCH_sanitize.json`` so the perf trajectory is diffable
+  across sessions.
+
+The on/off wall-clock ratio is also recorded (informational: it measures
+the cost of *enabled* checking, which is allowed to be paid), along with
+a hard equality assertion on the scheduling outcome -- the sanitizer is
+read-only, so makespan and per-app turnaround must match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from benchmarks.conftest import emit
+from repro.kernel.task import reset_tid_counter
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads.mixes import MIXES
+from repro.workloads.programs import ProgramEnv
+
+#: Reference point: a synchronisation-heavy mix exercises every hook
+#: (runqueue mutations, min_vruntime updates, futex pairing, dispatch).
+MIX, CONFIG, SCHEDULER = "Sync-2", "2B2S", "colab"
+ROUNDS = 5
+#: Acceptance bound: sanitize-off overhead vs the seed run.
+MAX_DISABLED_OVERHEAD = 0.05
+
+ARTIFACT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_sanitize.json"
+)
+
+
+def timed_run(ctx, sanitize: bool):
+    """Wall-clock one fresh reference run; returns (seconds, machine, result)."""
+    reset_tid_counter()
+    machine = Machine(
+        ctx.topology(CONFIG, big_first=True),
+        ctx.make_scheduler(SCHEDULER),
+        MachineConfig(seed=ctx.seed, sanitize=sanitize),
+    )
+    env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
+    for instance in MIXES[MIX].instantiate(env):
+        machine.add_program(instance)
+    started = time.perf_counter()
+    result = machine.run()
+    return time.perf_counter() - started, machine, result
+
+
+def guard_cost_seconds(checks: int) -> float:
+    """Cost of ``checks`` dormant ``is not None`` guard evaluations."""
+    sanitizer = None
+    started = time.perf_counter()
+    hits = 0
+    for _ in range(checks):
+        if sanitizer is not None:
+            hits += 1
+    elapsed = time.perf_counter() - started
+    assert hits == 0
+    return elapsed
+
+
+def outcome(result) -> tuple:
+    return (result.makespan, tuple(sorted(result.app_turnaround.items())))
+
+
+def measure(ctx) -> dict:
+    off_times = []
+    on_times = []
+    checks_run = 0
+    for _ in range(ROUNDS):
+        seconds, _machine, off_result = timed_run(ctx, sanitize=False)
+        off_times.append(seconds)
+        seconds, machine, on_result = timed_run(ctx, sanitize=True)
+        on_times.append(seconds)
+        checks_run = machine._sanitizer.checks_run
+        assert outcome(off_result) == outcome(on_result), (
+            "sanitizer changed the scheduling outcome"
+        )
+
+    off_s = statistics.median(off_times)
+    on_s = statistics.median(on_times)
+    # Upper-bound the dormant hooks: each check the sanitized run executed
+    # corresponds to one None-guard in the plain run; charge 4x to be
+    # conservative about call-site dispersion.
+    guard_checks = max(1, checks_run * 4)
+    guard_s = guard_cost_seconds(guard_checks)
+    return {
+        "mix": MIX,
+        "config": CONFIG,
+        "scheduler": SCHEDULER,
+        "rounds": ROUNDS,
+        "checks_when_enabled": checks_run,
+        "sanitize_off_run_s": off_s,
+        "sanitize_on_run_s": on_s,
+        "on_over_off": on_s / off_s,
+        "guard_checks_timed": guard_checks,
+        "guard_cost_s": guard_s,
+        "disabled_overhead_fraction": guard_s / off_s,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "outcome_bit_identical": True,
+    }
+
+
+def test_sanitize_disabled_overhead(benchmark, ctx):
+    report = benchmark.pedantic(lambda: measure(ctx), rounds=1, iterations=1)
+    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    emit(
+        benchmark,
+        "schedsan overhead "
+        f"({report['checks_when_enabled']} checks at reference point)\n"
+        f"  sanitize off      : {report['sanitize_off_run_s'] * 1e3:8.1f} ms\n"
+        f"  sanitize on       : {report['sanitize_on_run_s'] * 1e3:8.1f} ms "
+        f"({report['on_over_off']:.2f}x)\n"
+        f"  guard upper bound : {report['guard_cost_s'] * 1e6:8.1f} us "
+        f"({report['disabled_overhead_fraction'] * 100:.3f}% of off-run)\n"
+        f"  wrote {ARTIFACT.name}",
+        disabled_overhead_fraction=report["disabled_overhead_fraction"],
+        on_over_off=report["on_over_off"],
+    )
+    assert report["disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD, report

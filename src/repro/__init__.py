@@ -27,6 +27,7 @@ from repro.errors import (
     KernelError,
     ModelError,
     ReproError,
+    SanitizerError,
     SchedulerError,
     SimulationError,
     WorkloadError,
@@ -74,6 +75,7 @@ __all__ = [
     "ProgramEnv",
     "ReproError",
     "RunResult",
+    "SanitizerError",
     "SchedulerError",
     "SimulationError",
     "Task",

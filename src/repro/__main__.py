@@ -1,0 +1,10 @@
+"""``python -m repro``: the CLI without needing the console script installed."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

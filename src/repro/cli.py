@@ -86,7 +86,10 @@ def _cmd_run(args: argparse.Namespace) -> None:
     ctx = _context(args)
     points = []
     for scheduler in args.schedulers.split(","):
-        metrics = evaluate_mix(ctx, args.mix, args.config, scheduler.strip())
+        metrics = evaluate_mix(
+            ctx, args.mix, args.config, scheduler.strip(),
+            sanitize=args.sanitize,
+        )
         points.append(metrics)
         baselines = ctx.baselines_for(MIXES[args.mix], args.config)
         fairness = fairness_index(metrics.turnarounds, baselines)
@@ -119,7 +122,8 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         raise ExperimentError(f"unknown mix {args.mix!r}")
     obs = ObsConfig(trace=True, metrics=True, profile=args.profile)
     result = run_mix_once(
-        ctx, mix, args.config, args.scheduler, big_first=True, obs=obs
+        ctx, mix, args.config, args.scheduler, big_first=True, obs=obs,
+        sanitize=args.sanitize,
     )
 
     document = to_chrome_trace(
@@ -154,6 +158,21 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         f"mean rq depth={gauges.get('rq.mean_depth', 0.0):.3f} "
         f"futex wait={gauges.get('futex.total_wait_ms', 0.0):.1f}ms"
     )
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo-contract lint pass; exit 0 iff no violations."""
+    from repro.sanitize import lint_paths, render_json, render_text, rule_catalogue
+
+    if args.list_rules:
+        print(rule_catalogue())
+        return 0
+    report = lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -236,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated: linux/wash/colab/gts",
     )
     run.add_argument("--json", default=None, help="write results as JSON")
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the scheduler sanitizer (schedsan); outcomes are "
+        "bit-identical but invariant violations fail loudly",
+    )
     run.set_defaults(func=_cmd_run)
     trace = sub.add_parser(
         "trace", help="trace one run (Perfetto/Chrome trace + metrics)"
@@ -259,7 +284,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also profile host wall-clock hot paths",
     )
+    trace.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the scheduler sanitizer (schedsan)",
+    )
     trace.set_defaults(func=_cmd_trace)
+    lint = sub.add_parser(
+        "lint", help="repo-contract lint pass (DET/OBS/KERN/ERR rules)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
     sub.add_parser("all", help="everything (long)").set_defaults(func=_cmd_all)
     return parser
 
@@ -269,8 +315,8 @@ def main(argv: list[str] | None = None) -> int:
 
     args = build_parser().parse_args(argv)
     configure(verbosity=args.verbose)
-    args.func(args)
-    return 0
+    result = args.func(args)
+    return int(result or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover

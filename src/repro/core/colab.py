@@ -149,6 +149,22 @@ class COLABScheduler(Scheduler):
                 )
         return task
 
+    def sanitize_invariants(self, machine) -> list[str]:
+        """Every dispatch maps to exactly one non-idle selector tier."""
+        problems = super().sanitize_invariants(machine)
+        decisions = self.selector.decisions
+        accounted = (
+            decisions["local"] + decisions["cluster"]
+            + decisions["global"] + decisions["preempt_little"]
+        )
+        if self.stats.picks != accounted:
+            problems.append(
+                f"colab: {self.stats.picks} picks but selector tiers "
+                f"account for {accounted} "
+                f"({ {k: v for k, v in sorted(decisions.items())} })"
+            )
+        return problems
+
     def publish_metrics(self, registry) -> None:
         """Add COLAB's decision mix and labeling-pass count."""
         super().publish_metrics(registry)

@@ -47,3 +47,35 @@ class ModelError(ReproError):
 
 class ExperimentError(ReproError):
     """The experiment harness was given an unknown workload/config/scheduler."""
+
+
+class SanitizerError(ReproError):
+    """The runtime scheduler sanitizer ("schedsan") detected a broken invariant.
+
+    Raised only on sanitizer-enabled runs (``MachineConfig(sanitize=True)``).
+    Carries the name of the failed check and, when the run was traced, the
+    most recent obs-tracer events so the failure report shows what the
+    scheduler was doing right before the invariant broke.
+
+    Attributes:
+        check: Short identifier of the violated invariant
+            ("rbtree" / "task_state" / "futex_pairing" / ...).
+        events: Recent :class:`repro.obs.tracer.TraceEvent` records
+            (empty when the run was not traced).
+    """
+
+    def __init__(self, message: str, *, check: str | None = None, events=None) -> None:
+        self.check = check
+        self.events = list(events or [])
+        if check is not None:
+            message = f"[schedsan:{check}] {message}"
+        if self.events:
+            tail = "\n".join(
+                f"  t={e.time:.3f} {e.kind.value}"
+                f" core={e.core_id} tid={e.tid} name={e.name} {e.args or ''}"
+                for e in self.events
+            )
+            message = (
+                f"{message}\nlast {len(self.events)} trace events before the failure:\n{tail}"
+            )
+        super().__init__(message)

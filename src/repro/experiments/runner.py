@@ -114,29 +114,33 @@ def run_mix_once(
     scheduler_name: str,
     big_first: bool,
     obs=None,
+    sanitize: bool = False,
 ) -> RunResult:
     """One simulation of ``mix`` on ``config`` under ``scheduler_name``.
 
     ``obs`` (a :class:`repro.obs.context.ObsConfig`, optional) enables
-    tracing/metrics/profiling for this run.  Observed runs bypass the
-    context's result cache in both directions: instrumentation must not
-    leak into the figure pipelines, and a cached bare result would lack
-    the requested events/metrics.
+    tracing/metrics/profiling for this run.  ``sanitize`` enables the
+    runtime scheduler sanitizer (schedsan); outcomes stay bit-identical
+    but invariant violations raise :class:`repro.errors.SanitizerError`.
+    Observed and sanitized runs bypass the context's result cache in both
+    directions: instrumentation must not leak into the figure pipelines,
+    and a cached bare result would lack the requested checking.
     """
     key = (mix.index, config, scheduler_name, big_first)
-    if obs is None and key in ctx._run_cache:
+    cacheable = obs is None and not sanitize
+    if cacheable and key in ctx._run_cache:
         return ctx._run_cache[key]
     topology = ctx.topology(config, big_first)
     machine = Machine(
         topology,
         ctx.make_scheduler(scheduler_name),
-        MachineConfig(seed=ctx.seed, obs=obs),
+        MachineConfig(seed=ctx.seed, obs=obs, sanitize=sanitize),
     )
     env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
     for instance in mix.instantiate(env):
         machine.add_program(instance)
     result = machine.run()
-    if obs is None:
+    if cacheable:
         ctx._run_cache[key] = result
     return result
 
@@ -146,10 +150,16 @@ def evaluate_mix(
     mix_index: str,
     config: str,
     scheduler_name: str,
+    sanitize: bool = False,
 ) -> MixMetrics:
-    """Order-averaged H_ANTT / H_STP of one evaluation point."""
+    """Order-averaged H_ANTT / H_STP of one evaluation point.
+
+    ``sanitize`` runs both orderings under schedsan and bypasses the
+    metrics cache (results are bit-identical either way, but a cached
+    entry would skip the checking the caller asked for).
+    """
     key = (mix_index, config, scheduler_name)
-    if key in ctx._metrics_cache:
+    if not sanitize and key in ctx._metrics_cache:
         return ctx._metrics_cache[key]
     mix = MIXES.get(mix_index)
     if mix is None:
@@ -158,7 +168,9 @@ def evaluate_mix(
     per_order: list[dict[str, float]] = []
     makespans: list[float] = []
     for big_first in (True, False):
-        result = run_mix_once(ctx, mix, config, scheduler_name, big_first)
+        result = run_mix_once(
+            ctx, mix, config, scheduler_name, big_first, sanitize=sanitize
+        )
         turnarounds = {
             result.app_names[app_id]: value
             for app_id, value in result.app_turnaround.items()

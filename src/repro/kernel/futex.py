@@ -54,9 +54,12 @@ class FutexTable:
             tracer is enabled every wait/wake emits a typed event; when its
             metrics registry is enabled wait periods feed the
             ``futex.wait_ms`` histogram.
+        sanitizer: Optional :class:`repro.sanitize.SchedSanitizer`; every
+            park and wake is reported so pairing violations (double park,
+            wake of a non-waiter, lost wakeups) fail loudly.
     """
 
-    def __init__(self, obs=None) -> None:
+    def __init__(self, obs=None, sanitizer=None) -> None:
         self._queues: dict[int, deque[FutexWaiter]] = {}
         #: Total number of wait operations (diagnostics / Table 3 measurement).
         self.total_waits: int = 0
@@ -68,6 +71,7 @@ class FutexTable:
         #: Total number of wake operations.
         self.total_wakes: int = 0
         self._tracer = obs.tracer if obs is not None else None
+        self._sanitizer = sanitizer
         self._wait_hist = (
             obs.metrics.histogram("futex.wait_ms")
             if obs is not None and obs.metrics.enabled
@@ -94,6 +98,8 @@ class FutexTable:
             raise KernelError(
                 f"task {task.name} already waiting since t={task.wait_started_at}"
             )
+        if self._sanitizer is not None:
+            self._sanitizer.on_futex_wait(task, futex_id)
         task.wait_started_at = now
         self._queues.setdefault(futex_id, deque()).append(
             FutexWaiter(task=task, since=now)
@@ -128,6 +134,8 @@ class FutexTable:
         while queue and len(woken) < count:
             waiter = queue.popleft()
             task = waiter.task
+            if self._sanitizer is not None:
+                self._sanitizer.on_futex_wake(task, futex_id)
             if task.state is not TaskState.SLEEPING:
                 raise KernelError(
                     f"futex {futex_id} woke {task.name} in state {task.state.value}"

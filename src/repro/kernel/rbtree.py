@@ -337,8 +337,10 @@ class RBTree:
     # ------------------------------------------------------------------
     # Validation (used by the property-based tests)
     # ------------------------------------------------------------------
-    def check_invariants(self) -> None:
-        """Assert the five red-black invariants; raise AssertionError if broken.
+    def invariant_violations(self) -> list[str]:
+        """Describe every broken red-black invariant (empty list = healthy).
+
+        Checked properties:
 
         1. Every node is red or black (structural: booleans).
         2. The root is black.
@@ -346,29 +348,43 @@ class RBTree:
         4. A red node has no red child.
         5. Every root-to-leaf path has the same number of black nodes.
 
-        Also checks the binary-search ordering, the size counter, and the
-        leftmost cache.
+        Plus the binary-search ordering, the size counter, and the leftmost
+        cache.  Implemented without ``assert`` so it keeps working under
+        ``python -O``; the runtime sanitizer consumes this directly.
         """
-        assert self._nil.color is BLACK, "NIL must be black"
-        assert self._root.color is BLACK, "root must be black"
+        problems: list[str] = []
+        if self._nil.color is not BLACK:
+            problems.append("NIL must be black")
+        if self._root.color is not BLACK:
+            problems.append("root must be black")
 
         def walk(node: _Node, lo: Key | None, hi: Key | None) -> tuple[int, int]:
             if node is self._nil:
                 return (1, 0)
-            if lo is not None:
-                assert node.key > lo, f"BST order violated at {node.key}"
-            if hi is not None:
-                assert node.key < hi, f"BST order violated at {node.key}"
+            if lo is not None and not node.key > lo:
+                problems.append(f"BST order violated at {node.key}")
+            if hi is not None and not node.key < hi:
+                problems.append(f"BST order violated at {node.key}")
             if node.color is RED:
-                assert node.left.color is BLACK, "red node with red left child"
-                assert node.right.color is BLACK, "red node with red right child"
+                if node.left.color is not BLACK:
+                    problems.append(f"red node {node.key} with red left child")
+                if node.right.color is not BLACK:
+                    problems.append(f"red node {node.key} with red right child")
             left_black, left_count = walk(node.left, lo, node.key)
             right_black, right_count = walk(node.right, node.key, hi)
-            assert left_black == right_black, "black-height mismatch"
+            if left_black != right_black:
+                problems.append(f"black-height mismatch at {node.key}")
             black = left_black + (1 if node.color is BLACK else 0)
             return (black, left_count + right_count + 1)
 
         _black_height, count = walk(self._root, None, None)
-        assert count == self._size, f"size {self._size} != node count {count}"
-        expected_leftmost = self._minimum(self._root)
-        assert self._leftmost is expected_leftmost, "leftmost cache is stale"
+        if count != self._size:
+            problems.append(f"size {self._size} != node count {count}")
+        if self._leftmost is not self._minimum(self._root):
+            problems.append("leftmost cache is stale")
+        return problems
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on the first broken invariant (test helper)."""
+        problems = self.invariant_violations()
+        assert not problems, "; ".join(problems)

@@ -45,6 +45,9 @@ class RunQueue:
         #: the machine when metrics are enabled (None otherwise).
         self._depth_tracker = None
         self._clock = None
+        #: Runtime sanitizer (:class:`repro.sanitize.SchedSanitizer`),
+        #: installed by the machine when ``sanitize=True`` (None otherwise).
+        self._sanitizer = None
 
     def attach_depth_tracker(self, clock, tracker) -> None:
         """Publish queue-depth changes into ``tracker`` (obs wiring).
@@ -56,6 +59,10 @@ class RunQueue:
         """
         self._clock = clock
         self._depth_tracker = tracker
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Validate every mutation through ``sanitizer`` (schedsan wiring)."""
+        self._sanitizer = sanitizer
 
     # ------------------------------------------------------------------
     # Size / iteration
@@ -98,6 +105,8 @@ class RunQueue:
         task.rq_core_id = self.core_id
         if self._depth_tracker is not None:
             self._depth_tracker.update(self._clock(), len(self._by_tid))
+        if self._sanitizer is not None:
+            self._sanitizer.on_rq_change(self)
 
     def dequeue(self, task: Task) -> None:
         """Remove a specific task (migration, or it was picked to run)."""
@@ -110,6 +119,8 @@ class RunQueue:
         task.rq_core_id = None
         if self._depth_tracker is not None:
             self._depth_tracker.update(self._clock(), len(self._by_tid))
+        if self._sanitizer is not None:
+            self._sanitizer.on_rq_change(self)
 
     def requeue(self, task: Task) -> None:
         """Re-key a queued task after its vruntime (or key inputs) changed."""
@@ -135,6 +146,8 @@ class RunQueue:
             return None
         self.dequeue(task)
         self.min_vruntime = max(self.min_vruntime, task.vruntime)
+        if self._sanitizer is not None:
+            self._sanitizer.on_min_vruntime(self)
         return task
 
     def best(self, key: Callable[[Task], tuple]) -> Task | None:
@@ -193,3 +206,44 @@ class RunQueue:
             candidates.append(head.vruntime)
         if candidates:
             self.min_vruntime = max(self.min_vruntime, min(candidates))
+        if self._sanitizer is not None:
+            self._sanitizer.on_min_vruntime(self)
+
+    # ------------------------------------------------------------------
+    # Sanitizer support
+    # ------------------------------------------------------------------
+    def sanitize_violations(self) -> list[str]:
+        """Describe every broken queue invariant (empty list = healthy).
+
+        Read-only: validates the red-black tree plus the lockstep between
+        the tree, the tid index, the key map, and the queued tasks' own
+        bookkeeping.  Queued tasks must be READY and claim this core.
+        (A queued task's *vruntime* may legitimately drift from its tree
+        key -- dequeue uses the recorded key -- so key staleness is not a
+        violation.)
+        """
+        problems = self._tree.invariant_violations()
+        if len(self._by_tid) != len(self._tree):
+            problems.append(
+                f"tid index holds {len(self._by_tid)} tasks but tree holds "
+                f"{len(self._tree)}"
+            )
+        if set(self._keys) != set(self._by_tid):
+            problems.append("key map and tid index disagree on queued tids")
+        for task in self._tree.values():
+            if self._by_tid.get(task.tid) is not task:
+                problems.append(
+                    f"tree task {task.name} (tid {task.tid}) missing from "
+                    "tid index"
+                )
+            if not task.is_runnable:
+                problems.append(
+                    f"queued task {task.name} is {task.state.value}, "
+                    "expected ready"
+                )
+            if task.rq_core_id != self.core_id:
+                problems.append(
+                    f"queued task {task.name} claims core "
+                    f"{task.rq_core_id}, expected {self.core_id}"
+                )
+        return problems

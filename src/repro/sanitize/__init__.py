@@ -1,0 +1,30 @@
+"""Correctness tooling for the COLAB reproduction.
+
+Two halves, one goal: the repo's determinism and kernel-contract guarantees
+are machine-checked instead of enforced by convention.
+
+* :mod:`repro.sanitize.lint` + :mod:`repro.sanitize.rules` -- an AST lint
+  pass (``repro lint``) with per-rule codes (DET001, DET002, OBS001,
+  KERN001, ERR001), text/JSON reporters, and
+  ``# sanitize: ignore[CODE]`` suppressions.
+* :mod:`repro.sanitize.schedsan` -- a runtime sanitizer ("schedsan") of
+  read-only invariant hooks injected into the rbtree, runqueues, futex
+  table, and event engine behind ``MachineConfig(sanitize=True)``, raising
+  :class:`repro.errors.SanitizerError` with recent trace events attached.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.lint import LintReport, Violation, lint_paths
+from repro.sanitize.reporting import render_json, render_text, rule_catalogue
+from repro.sanitize.schedsan import SchedSanitizer
+
+__all__ = [
+    "LintReport",
+    "SchedSanitizer",
+    "Violation",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+]

@@ -1,0 +1,207 @@
+"""AST lint engine for the repo's determinism/observability/kernel contracts.
+
+The engine is deliberately small: it parses each file once, annotates every
+node with its parent (``_san_parent``), hands the module to each registered
+rule, and filters the resulting violations through inline suppressions.
+
+Suppression syntax (checked on the flagged line or the line directly above)::
+
+    value = time.time()  # sanitize: ignore[DET001]
+    # sanitize: ignore[DET002, OBS001]
+    for core in cores: ...
+
+Rules live in :mod:`repro.sanitize.rules` and register themselves via the
+:func:`rule` decorator; each declares a code, a one-line rationale, and the
+path scope it enforces (e.g. only ``repro/sim`` + ``repro/kernel``).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+#: Paths (posix substrings) a rule may restrict itself to.  The lint pass
+#: runs over whatever paths the caller names, but contract rules only fire
+#: inside the subsystems whose contracts they encode.
+SIM_KERNEL_SCOPE = ("repro/sim/", "repro/kernel/")
+DECISION_SCOPE = (
+    "repro/sim/",
+    "repro/kernel/",
+    "repro/core/",
+    "repro/schedulers/",
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*sanitize:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    code: str
+    summary: str
+    rationale: str
+    scope: tuple[str, ...]
+    check: Callable[["ParsedModule"], Iterable[Violation]]
+
+    def applies_to(self, module: "ParsedModule") -> bool:
+        return any(part in module.posix for part in self.scope)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ParsedModule:
+    """One parsed source file plus the lookups rules need.
+
+    Attributes:
+        path: Filesystem path as given by the caller.
+        posix: Posix-normalised path string (what rule scopes match on).
+        source: Raw file text.
+        lines: Source split into lines (1-indexed via ``line(n)``).
+        tree: The :mod:`ast` module tree; every node carries ``_san_parent``.
+    """
+
+    def __init__(self, path: pathlib.Path, source: str, tree: ast.Module) -> None:
+        self.path = str(path)
+        self.posix = path.as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                child._san_parent = node  # type: ignore[attr-defined]
+        tree._san_parent = None  # type: ignore[attr-defined]
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = getattr(node, "_san_parent", None)
+        while current is not None:
+            yield current
+            current = getattr(current, "_san_parent", None)
+
+    def suppressed_codes(self, lineno: int) -> set[str]:
+        """Codes suppressed for ``lineno`` (same line or the line above)."""
+        codes: set[str] = set()
+        for candidate in (lineno, lineno - 1):
+            match = _SUPPRESS_RE.search(self.line(candidate))
+            if match:
+                codes.update(
+                    code.strip() for code in match.group(1).split(",") if code.strip()
+                )
+        return codes
+
+    def violation(
+        self, node: ast.AST, code: str, message: str
+    ) -> Violation:
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    code: str, summary: str, rationale: str, scope: tuple[str, ...]
+) -> Callable:
+    """Register a rule function under ``code`` (decorator)."""
+
+    def register(check: Callable[[ParsedModule], Iterable[Violation]]):
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code}")
+        _REGISTRY[code] = Rule(
+            code=code, summary=summary, rationale=rationale,
+            scope=scope, check=check,
+        )
+        return check
+
+    return register
+
+
+def registered_rules() -> list[Rule]:
+    """All rules, sorted by code (imports the rule module on first use)."""
+    import repro.sanitize.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def iter_python_files(paths: Iterable[str | pathlib.Path]) -> Iterator[pathlib.Path]:
+    """Expand files/directories into a deterministic list of ``.py`` files."""
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_file(path: pathlib.Path) -> list[Violation]:
+    """Lint one file; unparseable source becomes a PARSE violation."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=str(path),
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                code="PARSE",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    module = ParsedModule(path, source, tree)
+    found: list[Violation] = []
+    for candidate in registered_rules():
+        if not candidate.applies_to(module):
+            continue
+        for violation in candidate.check(module):
+            if violation.code not in module.suppressed_codes(violation.line):
+                found.append(violation)
+    return found
+
+
+def lint_paths(paths: Iterable[str | pathlib.Path]) -> LintReport:
+    """Lint every python file under ``paths``; the CLI entry point."""
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files_scanned += 1
+        report.violations.extend(lint_file(path))
+    report.violations.sort(key=Violation.sort_key)
+    return report

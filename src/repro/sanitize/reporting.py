@@ -1,0 +1,59 @@
+"""Reporters for lint results: human text, machine JSON, rule catalogue."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sanitize.lint import LintReport, registered_rules
+
+
+def render_text(report: LintReport) -> str:
+    """GCC-style one-line-per-violation text (path:line:col CODE message)."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col} {v.code} {v.message}"
+        for v in report.violations
+    ]
+    noun = "file" if report.files_scanned == 1 else "files"
+    if report.ok:
+        lines.append(f"{report.files_scanned} {noun} checked, no violations")
+    else:
+        count = len(report.violations)
+        vnoun = "violation" if count == 1 else "violations"
+        lines.append(f"{report.files_scanned} {noun} checked, {count} {vnoun}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable JSON document for CI and tooling."""
+    return json.dumps(
+        {
+            "files_scanned": report.files_scanned,
+            "ok": report.ok,
+            "violations": [
+                {
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "code": v.code,
+                    "message": v.message,
+                }
+                for v in report.violations
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def rule_catalogue() -> str:
+    """Text table of every registered rule (``repro lint --list-rules``)."""
+    lines = []
+    for rule in registered_rules():
+        lines.append(f"{rule.code}  {rule.summary}")
+        lines.append(f"        scope: {', '.join(rule.scope)}")
+        lines.append(f"        {rule.rationale}")
+    lines.append(
+        "suppress inline with `# sanitize: ignore[CODE]` on the flagged "
+        "line or the line above"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,367 @@
+"""The lint rules: repo contracts encoded as AST checks.
+
+Each rule registers itself with :func:`repro.sanitize.lint.rule`, declaring
+its code, a one-line summary (shown by ``repro lint --list-rules``), the
+rationale, and the path scope it enforces.  See EXPERIMENTS.md for the full
+catalogue with suppression examples.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.sanitize.lint import (
+    DECISION_SCOPE,
+    SIM_KERNEL_SCOPE,
+    ParsedModule,
+    Violation,
+    rule,
+)
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+
+def _import_aliases(module: ParsedModule) -> dict[str, str]:
+    """Map every imported local name to its fully qualified origin.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng as rng`` ->
+    ``{"rng": "numpy.random.default_rng"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+def _dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """Resolve a Name/Attribute chain to a dotted origin name, or None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = aliases.get(current.id, current.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _is_set_like(node: ast.AST) -> bool:
+    """Literal sets, set comprehensions, and set()/frozenset() calls."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+# ----------------------------------------------------------------------
+# DET001 -- wall clock / unseeded RNG
+# ----------------------------------------------------------------------
+
+_WALLCLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+_ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4", "os.getrandom"}
+#: Allowed names under numpy.random: seeded-generator constructors only.
+_NUMPY_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+
+
+@rule(
+    "DET001",
+    "no wall-clock or unseeded-RNG calls in simulation code",
+    "Outcomes must be a pure function of (workload, topology, scheduler, "
+    "seed); any wall-clock read or global/unseeded RNG breaks run-to-run "
+    "reproducibility and invalidates scheduler comparisons.",
+    DECISION_SCOPE,
+)
+def det001(module: ParsedModule) -> Iterator[Violation]:
+    aliases = _import_aliases(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func, aliases)
+        if name is None:
+            continue
+        if name in _WALLCLOCK:
+            yield module.violation(
+                node, "DET001",
+                f"wall-clock call {name}() in simulation code; use the "
+                "engine clock (machine/engine .now)",
+            )
+        elif name in _ENTROPY:
+            yield module.violation(
+                node, "DET001",
+                f"entropy source {name}() is nondeterministic; derive ids "
+                "from seeded state",
+            )
+        elif name.startswith(("random.", "secrets.")):
+            yield module.violation(
+                node, "DET001",
+                f"{name}() uses a global/unseeded RNG; use "
+                "numpy.random.default_rng(seed)",
+            )
+        elif name.startswith("numpy.random."):
+            leaf = name.rsplit(".", 1)[1]
+            if leaf not in _NUMPY_RANDOM_OK:
+                yield module.violation(
+                    node, "DET001",
+                    f"legacy numpy global RNG {name}(); use "
+                    "numpy.random.default_rng(seed)",
+                )
+            elif leaf == "default_rng" and not node.args and not node.keywords:
+                yield module.violation(
+                    node, "DET001",
+                    "default_rng() without a seed draws OS entropy; pass an "
+                    "explicit seed",
+                )
+
+
+# ----------------------------------------------------------------------
+# DET002 -- unordered iteration in decision paths
+# ----------------------------------------------------------------------
+
+
+def _enclosing_scope(module: ParsedModule, node: ast.AST) -> ast.AST:
+    for parent in module.parents(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+    return module.tree
+
+
+def _set_bound_names(module: ParsedModule) -> dict[ast.AST, set[str]]:
+    """Per-scope names assigned from a set-like expression."""
+    bound: dict[ast.AST, set[str]] = {}
+    for node in ast.walk(module.tree):
+        value = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if value is None or not _is_set_like(value):
+            continue
+        scope = _enclosing_scope(module, node)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                bound.setdefault(scope, set()).add(target.id)
+    return bound
+
+
+@rule(
+    "DET002",
+    "no iteration over unordered sets in scheduling-decision paths",
+    "Python set iteration order depends on insertion history and hashing; "
+    "a pick or balance decision driven by it silently varies between "
+    "equivalent runs.  Iterate sorted(...) or a tid-keyed structure.",
+    DECISION_SCOPE,
+)
+def det002(module: ParsedModule) -> Iterator[Violation]:
+    bound = _set_bound_names(module)
+
+    def is_unordered(expr: ast.AST, scope: ast.AST) -> bool:
+        if _is_set_like(expr):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in bound.get(scope, set()) or expr.id in bound.get(
+                module.tree, set()
+            )
+        if isinstance(expr, ast.Attribute) and expr.attr == "affinity":
+            return True  # task.affinity is a frozenset
+        return False
+
+    seen: set[tuple[int, int]] = set()
+
+    def flag(expr: ast.AST, node: ast.AST) -> Iterator[Violation]:
+        scope = _enclosing_scope(module, node)
+        if is_unordered(expr, scope):
+            location = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+            if location not in seen:
+                seen.add(location)
+                yield module.violation(
+                    node, "DET002",
+                    "iteration over an unordered set in a decision path; "
+                    "wrap with sorted(...) to fix the order",
+                )
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.For):
+            yield from flag(node.iter, node)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield from flag(generator.iter, node)
+
+
+# ----------------------------------------------------------------------
+# OBS001 -- tracer.emit must be guarded
+# ----------------------------------------------------------------------
+
+
+def _looks_like_tracer(base: ast.AST) -> bool:
+    if isinstance(base, ast.Name):
+        return "tracer" in base.id.lower()
+    if isinstance(base, ast.Attribute):
+        return "tracer" in base.attr.lower()
+    return False
+
+
+def _node_fingerprint(node: ast.AST) -> str:
+    return ast.dump(node, annotate_fields=False)
+
+
+@rule(
+    "OBS001",
+    "every tracer.emit(...) call guarded by `if <tracer>.enabled`",
+    "The observability contract is zero overhead when disabled: event "
+    "arguments must not even be constructed unless the tracer is on, so "
+    "each emit site sits under an `if tracer.enabled:` branch.",
+    DECISION_SCOPE,
+)
+def obs001(module: ParsedModule) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+            and _looks_like_tracer(node.func.value)
+        ):
+            continue
+        base = _node_fingerprint(node.func.value)
+        guarded = False
+        for parent in module.parents(node):
+            if not isinstance(parent, ast.If):
+                continue
+            for test_node in ast.walk(parent.test):
+                if (
+                    isinstance(test_node, ast.Attribute)
+                    and test_node.attr == "enabled"
+                    and _node_fingerprint(test_node.value) == base
+                ):
+                    guarded = True
+                    break
+            if guarded:
+                break
+        if not guarded:
+            yield module.violation(
+                node, "OBS001",
+                "tracer.emit() call not guarded by `if <tracer>.enabled:`; "
+                "disabled runs would still pay for event construction",
+            )
+
+
+# ----------------------------------------------------------------------
+# KERN001 -- runqueue internals are RunQueue's business
+# ----------------------------------------------------------------------
+
+_KERN_SCOPE = tuple(
+    part for part in DECISION_SCOPE
+)
+_KERN_EXCLUDED_FILES = ("kernel/runqueue.py", "kernel/rbtree.py")
+_RQ_PRIVATE_ATTRS = {"_tree", "_by_tid", "_keys"}
+
+
+@rule(
+    "KERN001",
+    "no rbtree/runqueue mutation outside RunQueue methods",
+    "RunQueue keeps three structures (tree, tid index, key map) plus the "
+    "task's rq_core_id in lockstep; touching any of them from outside "
+    "desynchronises the bookkeeping the schedulers rely on.",
+    _KERN_SCOPE,
+)
+def kern001(module: ParsedModule) -> Iterator[Violation]:
+    if any(module.posix.endswith(name) for name in _KERN_EXCLUDED_FILES):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) and node.attr in _RQ_PRIVATE_ATTRS:
+            yield module.violation(
+                node, "KERN001",
+                f"access to runqueue internal .{node.attr} outside RunQueue; "
+                "use the public enqueue/dequeue/tasks API",
+            )
+        elif isinstance(node, ast.Call) and (
+            (isinstance(node.func, ast.Name) and node.func.id == "RBTree")
+            or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "RBTree"
+            )
+        ):
+            yield module.violation(
+                node, "KERN001",
+                "direct RBTree construction outside the kernel substrate; "
+                "timelines belong to RunQueue",
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "min_vruntime"
+                ):
+                    yield module.violation(
+                        target, "KERN001",
+                        "direct write to min_vruntime outside RunQueue; "
+                        "use update_min_vruntime()",
+                    )
+
+
+# ----------------------------------------------------------------------
+# ERR001 -- no bare/blanket except in sim/kernel
+# ----------------------------------------------------------------------
+
+_BLANKET = {"Exception", "BaseException"}
+
+
+def _blanket_names(node: ast.expr | None) -> Iterator[str]:
+    if node is None:
+        return
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BLANKET:
+            yield candidate.id
+        elif isinstance(candidate, ast.Attribute) and candidate.attr in _BLANKET:
+            yield candidate.attr
+
+
+@rule(
+    "ERR001",
+    "no bare or blanket `except` in sim/kernel",
+    "A swallowed SimulationError/KernelError turns an invariant violation "
+    "into a silently wrong result table; sim/kernel code must catch "
+    "specific exception types and let the rest propagate.",
+    SIM_KERNEL_SCOPE,
+)
+def err001(module: ParsedModule) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield module.violation(
+                node, "ERR001",
+                "bare `except:` swallows every error including sanitizer "
+                "and kernel failures; name the exception types",
+            )
+        else:
+            for name in _blanket_names(node.type):
+                yield module.violation(
+                    node, "ERR001",
+                    f"blanket `except {name}:` in sim/kernel; catch specific "
+                    "ReproError subclasses instead",
+                )

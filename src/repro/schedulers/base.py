@@ -155,6 +155,34 @@ class Scheduler(abc.ABC):
             if isinstance(value, (int, float)):
                 registry.gauge(f"scheduler.{field_name}").set(value)
 
+    def sanitize_invariants(self, machine: "Machine") -> list[str]:
+        """Describe broken policy invariants (schedsan hook; empty = healthy).
+
+        Called by the runtime sanitizer after every drain.  Must be
+        read-only so sanitized runs stay bit-identical to unsanitized
+        ones.  The base check is affinity consistency: no queued or
+        running task may sit on a core its mask forbids.  Policies extend
+        this with their own decision-counter bookkeeping and should fold
+        in ``super().sanitize_invariants(machine)``.
+        """
+        problems: list[str] = []
+        for core in machine.cores:
+            for task in core.rq.tasks():
+                if not task.allows_core(core.core_id):
+                    problems.append(
+                        f"{self.name}: task {task.name} queued on core "
+                        f"{core.core_id} outside affinity "
+                        f"{sorted(task.affinity or ())}"
+                    )
+            current = core.current
+            if current is not None and not current.allows_core(core.core_id):
+                problems.append(
+                    f"{self.name}: task {current.name} running on core "
+                    f"{core.core_id} outside affinity "
+                    f"{sorted(current.affinity or ())}"
+                )
+        return problems
+
     def curr_vruntime(self, core: "Core", now: float) -> float:
         """Up-to-date vruntime of the running task, without descheduling.
 

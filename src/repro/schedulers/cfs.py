@@ -167,6 +167,18 @@ class CFSScheduler(Scheduler):
                     return candidate
         return None
 
+    def sanitize_invariants(self, machine) -> list[str]:
+        """Every dispatch is either a local pop or an idle-balance steal."""
+        problems = super().sanitize_invariants(machine)
+        accounted = self.stats.local_picks + self.stats.steals
+        if self.stats.picks != accounted:
+            problems.append(
+                f"{self.name}: {self.stats.picks} picks but "
+                f"{self.stats.local_picks} local + {self.stats.steals} "
+                "steals accounted"
+            )
+        return problems
+
     # ------------------------------------------------------------------
     # Wakeup preemption (wakeup_preempt_entity)
     # ------------------------------------------------------------------

@@ -116,6 +116,21 @@ class GTSScheduler(CFSScheduler):
             registry.gauge("gts.max_load").set(max(loads))
             registry.gauge("gts.tracked_tasks").set(len(loads))
 
+    def sanitize_invariants(self, machine) -> list[str]:
+        """GTS masks are always one whole cluster (big or little)."""
+        problems = super().sanitize_invariants(machine)
+        big_ids = frozenset(c.core_id for c in machine.big_cores)
+        little_ids = frozenset(c.core_id for c in machine.little_cores)
+        for task in machine.tasks:
+            if task.affinity is not None and task.affinity not in (
+                big_ids, little_ids,
+            ):
+                problems.append(
+                    f"gts: task {task.name} has affinity "
+                    f"{sorted(task.affinity)}, expected one full cluster"
+                )
+        return problems
+
     def _enforce(self, task: "Task", now: float) -> None:
         """Migrate a queued/running task off a cluster its mask forbids."""
         machine = self._require_machine()

@@ -170,6 +170,19 @@ class WASHScheduler(CFSScheduler):
         )
         registry.gauge("wash.pinned_tasks").set(pinned)
 
+    def sanitize_invariants(self, machine) -> list[str]:
+        """WASH only ever pins to the whole big cluster or unpins."""
+        problems = super().sanitize_invariants(machine)
+        big_ids = frozenset(c.core_id for c in machine.big_cores)
+        for task in machine.tasks:
+            if task.affinity is not None and task.affinity != big_ids:
+                problems.append(
+                    f"wash: task {task.name} has affinity "
+                    f"{sorted(task.affinity)}, expected the big cluster "
+                    f"{sorted(big_ids)} or no mask"
+                )
+        return problems
+
     def _enforce_affinity(self, task: "Task", now: float) -> None:
         """Eagerly move a task off a core its mask now forbids."""
         machine = self._require_machine()

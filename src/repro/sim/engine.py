@@ -60,6 +60,10 @@ class Engine:
         #: when set and enabled, :meth:`run` times the whole loop and
         #: :meth:`step` attributes handler time per event kind.
         self.profiler = None
+        #: Optional runtime sanitizer (:class:`repro.sanitize.SchedSanitizer`);
+        #: when set, every popped event is checked for time travel before
+        #: its handler runs.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Registration and queueing
@@ -116,6 +120,8 @@ class Engine:
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)
+        if self.sanitizer is not None:
+            self.sanitizer.on_event(event, self.now)
         if event.time < self.now:
             raise SimulationError(
                 f"heap produced past event at t={event.time} < now={self.now}"

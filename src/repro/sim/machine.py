@@ -93,6 +93,12 @@ class MachineConfig:
     #: Observability switches (:class:`repro.obs.ObsConfig`): structured
     #: tracing, metrics registry, host-side profiling.
     obs: ObsConfig | None = None
+    #: Enable the runtime scheduler sanitizer (schedsan): read-only
+    #: invariant checks on the rbtree, runqueues, futex pairing, event
+    #: ordering, task states, and work conservation.  Scheduling outcomes
+    #: are bit-identical with this on or off; violations raise
+    #: :class:`repro.errors.SanitizerError`.
+    sanitize: bool = False
     #: Optional per-cluster frequency scaling policy
     #: (:class:`repro.sim.dvfs.DVFSPolicy`).
     dvfs: object | None = None
@@ -181,6 +187,12 @@ class Machine:
         self.engine = Engine()
         if self._profiler.enabled:
             self.engine.profiler = self._profiler
+        self._sanitizer = None
+        if self.config.sanitize:
+            from repro.sanitize.schedsan import SchedSanitizer
+
+            self._sanitizer = SchedSanitizer(tracer=self._tracer)
+            self.engine.sanitizer = self._sanitizer
         self.cores: list[Core] = topology.build_cores()
         for core in self.cores:
             core.rq = RunQueue(core.core_id)
@@ -190,9 +202,11 @@ class Machine:
                     lambda: self.engine.now,
                     self.obs.metrics.time_weighted(f"rq.{core.core_id}.depth"),
                 )
+            if self._sanitizer is not None:
+                core.rq.attach_sanitizer(self._sanitizer)
         self.big_cores = [c for c in self.cores if c.kind is CoreKind.BIG]
         self.little_cores = [c for c in self.cores if c.kind is CoreKind.LITTLE]
-        self.futexes = FutexTable(obs=self.obs)
+        self.futexes = FutexTable(obs=self.obs, sanitizer=self._sanitizer)
         self.rng = np.random.default_rng(self.config.seed)
         self.scheduler = scheduler
         scheduler.attach(self)
@@ -296,6 +310,8 @@ class Machine:
                 f"{len(stuck)} tasks never finished "
                 f"(deadlock or truncated run): {stuck[:10]}"
             )
+        if self._sanitizer is not None:
+            self._sanitizer.check_final(self)
         return self._build_result()
 
     # ------------------------------------------------------------------
@@ -441,6 +457,8 @@ class Machine:
             core = self._core_at(core_id)
             if core.current is None:
                 self._dispatch(core, now)
+        if self._sanitizer is not None:
+            self._sanitizer.check_machine(self)
 
     def _dispatch(self, core: Core, now: float) -> None:
         if self._profiler.enabled:
@@ -451,6 +469,8 @@ class Machine:
             task = self.scheduler.pick_next(core, now)
         if task is None:
             return
+        if self._sanitizer is not None:
+            self._sanitizer.on_pick(core, task)
         self.scheduler.stats.picks += 1
         self._start(core, task, now)
 

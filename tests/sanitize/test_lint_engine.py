@@ -1,0 +1,129 @@
+"""Lint engine mechanics: file discovery, suppressions, reporters, parsing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sanitize import lint_paths, render_json, render_text, rule_catalogue
+from repro.sanitize.lint import registered_rules
+
+
+def write_sim_file(tmp_path, name, source):
+    """Place ``source`` under a path the sim-scope rules enforce."""
+    target = tmp_path / "repro" / "sim" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+class TestDiscoveryAndScope:
+    def test_directory_expansion_and_file_count(self, tmp_path):
+        write_sim_file(tmp_path, "a.py", "x = 1\n")
+        write_sim_file(tmp_path, "b.py", "y = 2\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        report = lint_paths([tmp_path])
+        assert report.files_scanned == 2
+        assert report.ok
+
+    def test_rules_do_not_fire_outside_their_scope(self, tmp_path):
+        # Wall-clock call in a file outside repro/{sim,kernel,core,schedulers}.
+        out_of_scope = tmp_path / "scripts" / "helper.py"
+        out_of_scope.parent.mkdir(parents=True)
+        out_of_scope.write_text("import time\nnow = time.time()\n")
+        report = lint_paths([out_of_scope])
+        assert report.ok
+
+    def test_single_file_argument(self, tmp_path):
+        bad = write_sim_file(
+            tmp_path, "clock.py", "import time\nnow = time.time()\n"
+        )
+        report = lint_paths([bad])
+        assert [v.code for v in report.violations] == ["DET001"]
+
+    def test_syntax_error_reported_as_parse_violation(self, tmp_path):
+        bad = write_sim_file(tmp_path, "broken.py", "def f(:\n")
+        report = lint_paths([bad])
+        assert len(report.violations) == 1
+        assert report.violations[0].code == "PARSE"
+        assert not report.ok
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self, tmp_path):
+        write_sim_file(
+            tmp_path, "s.py",
+            "import time\n"
+            "now = time.time()  # sanitize: ignore[DET001]\n",
+        )
+        assert lint_paths([tmp_path]).ok
+
+    def test_line_above_suppression(self, tmp_path):
+        write_sim_file(
+            tmp_path, "s.py",
+            "import time\n"
+            "# sanitize: ignore[DET001]\n"
+            "now = time.time()\n",
+        )
+        assert lint_paths([tmp_path]).ok
+
+    def test_multi_code_suppression(self, tmp_path):
+        write_sim_file(
+            tmp_path, "s.py",
+            "import time\n"
+            "# sanitize: ignore[DET002, DET001]\n"
+            "now = time.time()\n",
+        )
+        assert lint_paths([tmp_path]).ok
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        write_sim_file(
+            tmp_path, "s.py",
+            "import time\n"
+            "now = time.time()  # sanitize: ignore[OBS001]\n",
+        )
+        report = lint_paths([tmp_path])
+        assert [v.code for v in report.violations] == ["DET001"]
+
+
+class TestReporters:
+    def test_text_report_format(self, tmp_path):
+        write_sim_file(
+            tmp_path, "clock.py", "import time\nnow = time.time()\n"
+        )
+        text = render_text(lint_paths([tmp_path]))
+        assert "clock.py:2:" in text
+        assert "DET001" in text
+        assert "1 file checked, 1 violation" in text
+
+    def test_clean_text_report(self, tmp_path):
+        write_sim_file(tmp_path, "ok.py", "x = 1\n")
+        text = render_text(lint_paths([tmp_path]))
+        assert "no violations" in text
+
+    def test_json_report_round_trips(self, tmp_path):
+        write_sim_file(
+            tmp_path, "clock.py", "import time\nnow = time.time()\n"
+        )
+        payload = json.loads(render_json(lint_paths([tmp_path])))
+        assert payload["files_scanned"] == 1
+        assert payload["ok"] is False
+        assert payload["violations"][0]["code"] == "DET001"
+        assert payload["violations"][0]["line"] == 2
+
+    def test_violations_sorted_by_location(self, tmp_path):
+        write_sim_file(
+            tmp_path, "z.py", "import time\nnow = time.time()\n"
+        )
+        write_sim_file(
+            tmp_path, "a.py",
+            "import time\na = time.time()\nb = time.monotonic()\n",
+        )
+        report = lint_paths([tmp_path])
+        keys = [v.sort_key() for v in report.violations]
+        assert keys == sorted(keys)
+
+    def test_rule_catalogue_lists_all_codes(self):
+        catalogue = rule_catalogue()
+        for rule in registered_rules():
+            assert rule.code in catalogue
+        assert "# sanitize: ignore[CODE]" in catalogue

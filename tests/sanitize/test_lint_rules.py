@@ -1,0 +1,237 @@
+"""Per-rule positive/negative coverage for every registered lint rule."""
+
+from __future__ import annotations
+
+from repro.sanitize import lint_paths
+
+
+def lint_source(tmp_path, source, rel="repro/sim/mod.py"):
+    """Lint ``source`` placed at ``rel`` under tmp_path; return hit codes."""
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return [v.code for v in lint_paths([target]).violations]
+
+
+class TestDET001:
+    def test_wall_clock_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "import time\nstart = time.perf_counter()\n"
+        )
+        assert codes == ["DET001"]
+
+    def test_wall_clock_flagged_through_alias(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "from time import monotonic as clock\nnow = clock()\n"
+        )
+        assert codes == ["DET001"]
+
+    def test_global_random_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "import random\nx = random.random()\n"
+        )
+        assert codes == ["DET001"]
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng()\n"
+        )
+        assert codes == ["DET001"]
+
+    def test_legacy_numpy_global_rng_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert codes == ["DET001"]
+
+    def test_entropy_source_flagged(self, tmp_path):
+        codes = lint_source(tmp_path, "import os\ntok = os.urandom(8)\n")
+        assert codes == ["DET001"]
+
+    def test_seeded_default_rng_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "import numpy as np\nrng = np.random.default_rng(42)\n"
+        )
+        assert codes == []
+
+    def test_engine_clock_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "def step(self, engine):\n    return engine.now\n"
+        )
+        assert codes == []
+
+
+class TestDET002:
+    def test_for_over_set_literal_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "def f(a, b):\n    for x in {a, b}:\n        pass\n"
+        )
+        assert codes == ["DET002"]
+
+    def test_for_over_set_bound_name_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f(items):\n"
+            "    pending = set(items)\n"
+            "    for x in pending:\n"
+            "        pass\n",
+        )
+        assert codes == ["DET002"]
+
+    def test_comprehension_over_affinity_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path, "def f(task):\n    return [c for c in task.affinity]\n"
+        )
+        assert codes == ["DET002"]
+
+    def test_sorted_set_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f(items):\n"
+            "    pending = set(items)\n"
+            "    for x in sorted(pending):\n"
+            "        pass\n",
+        )
+        assert codes == []
+
+    def test_list_iteration_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f(items):\n"
+            "    ordered = list(items)\n"
+            "    for x in ordered:\n"
+            "        pass\n",
+        )
+        assert codes == []
+
+
+class TestOBS001:
+    def test_unguarded_emit_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f(tracer):\n"
+            "    tracer.emit('pick', tid=1)\n",
+        )
+        assert codes == ["OBS001"]
+
+    def test_guard_on_different_tracer_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f(self, other_tracer):\n"
+            "    if self._tracer.enabled:\n"
+            "        other_tracer.emit('pick', tid=1)\n",
+        )
+        assert codes == ["OBS001"]
+
+    def test_guarded_emit_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f(self):\n"
+            "    if self._tracer.enabled:\n"
+            "        self._tracer.emit('pick', tid=1)\n",
+        )
+        assert codes == []
+
+    def test_guarded_emit_in_compound_test_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f(tracer, verbose):\n"
+            "    if tracer.enabled and verbose:\n"
+            "        tracer.emit('pick', tid=1)\n",
+        )
+        assert codes == []
+
+
+class TestKERN001:
+    def test_private_tree_access_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def steal(rq):\n    return rq._tree.min_key()\n",
+            rel="repro/schedulers/mod.py",
+        )
+        assert codes == ["KERN001"]
+
+    def test_rbtree_construction_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "from repro.kernel.rbtree import RBTree\n"
+            "def fresh():\n    return RBTree()\n",
+            rel="repro/sim/mod.py",
+        )
+        assert codes == ["KERN001"]
+
+    def test_min_vruntime_write_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def reset(rq):\n    rq.min_vruntime = 0.0\n",
+        )
+        assert codes == ["KERN001"]
+
+    def test_public_api_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def move(src, dst, task):\n"
+            "    src.dequeue(task)\n"
+            "    dst.enqueue(task)\n"
+            "    return dst.min_vruntime\n",
+        )
+        assert codes == []
+
+    def test_runqueue_module_itself_excluded(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def enqueue(self, task):\n"
+            "    self._tree.insert(key, task)\n",
+            rel="repro/kernel/runqueue.py",
+        )
+        assert codes == []
+
+
+class TestERR001:
+    def test_bare_except_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except:\n"
+            "        pass\n",
+            rel="repro/kernel/mod.py",
+        )
+        assert codes == ["ERR001"]
+
+    def test_blanket_exception_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (ValueError, Exception):\n"
+            "        pass\n",
+        )
+        assert codes == ["ERR001"]
+
+    def test_specific_exception_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except KeyError:\n"
+            "        pass\n",
+        )
+        assert codes == []
+
+    def test_blanket_outside_sim_kernel_allowed(self, tmp_path):
+        # ERR001 is scoped to sim/kernel only; experiment drivers may
+        # legitimately catch broadly.
+        codes = lint_source(
+            tmp_path,
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n",
+            rel="repro/experiments/mod.py",
+        )
+        assert codes == []

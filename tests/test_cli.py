@@ -68,6 +68,65 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_sanitize_flags(self):
+        parser = build_parser()
+        assert not parser.parse_args(["run"]).sanitize
+        assert parser.parse_args(["run", "--sanitize"]).sanitize
+        assert not parser.parse_args(["trace"]).sanitize
+        assert parser.parse_args(["trace", "--sanitize"]).sanitize
+
+    def test_lint_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == ["src/repro"]
+        assert args.format == "text"
+        assert not args.list_rules
+
+        args = parser.parse_args(
+            ["lint", "a.py", "b/", "--format", "json", "--list-rules"]
+        )
+        assert args.paths == ["a.py", "b/"]
+        assert args.format == "json"
+        assert args.list_rules
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "repro" / "sim" / "ok.py"
+        clean.parent.mkdir(parents=True)
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nnow = time.time()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nnow = time.time()\n")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["violations"][0]["code"] == "DET001"
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "OBS001", "KERN001", "ERR001"):
+            assert code in out
+
+    def test_repo_source_is_clean(self, capsys):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+        assert main(["lint", str(src)]) == 0
+
 
 class TestRunCommand:
     def test_run_point_and_json_export(self, tmp_path, capsys):
@@ -87,6 +146,22 @@ class TestRunCommand:
         assert payload["count"] == 2
         schedulers = {p["scheduler"] for p in payload["points"]}
         assert schedulers == {"linux", "colab"}
+
+
+class TestSanitizedRunCommand:
+    def test_run_with_sanitizer_matches_plain_run(self, tmp_path, capsys):
+        """End-to-end --sanitize run: completes and is bit-identical."""
+        plain = tmp_path / "plain.json"
+        checked = tmp_path / "checked.json"
+        base = [
+            "--scale", "0.05", "--oracle",
+            "run", "--mix", "Sync-1", "--config", "2B2S",
+            "--schedulers", "linux,colab",
+        ]
+        assert main(base + ["--json", str(plain)]) == 0
+        assert main(base + ["--sanitize", "--json", str(checked)]) == 0
+        capsys.readouterr()
+        assert json.loads(plain.read_text()) == json.loads(checked.read_text())
 
 
 class TestTraceCommand:

@@ -22,6 +22,7 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.kernel.rbtree import RBTree
 from repro.kernel.sync import Barrier, Mutex, Pipe
 from repro.kernel.task import Task
 from repro.schedulers import make_scheduler
@@ -168,6 +169,89 @@ def test_random_workloads_complete_with_invariants(
     caused = sum(t.caused_wait_time for t in tasks)
     own = sum(t.own_wait_time for t in tasks)
     assert caused <= own + 1e-6
+
+
+@given(
+    spec=workload_spec(),
+    scheduler_name=st.sampled_from(SCHEDULER_NAMES),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_workloads_pass_schedsan(spec, scheduler_name, seed):
+    """Every random workload survives the runtime sanitizer.
+
+    schedsan validates the rbtree, runqueue lockstep, futex pairing,
+    task state machine and work conservation after every mutation; any
+    false positive (or real regression) raises SanitizerError here.
+    """
+    machine = Machine(
+        make_topology(2, 1),
+        make_scheduler(scheduler_name),
+        MachineConfig(seed=seed, sanitize=True),
+    )
+    tasks, _ = build_workload(machine, spec)
+    machine.run()
+    assert all(t.is_done for t in tasks)
+    assert machine._sanitizer.checks_run > 0
+
+
+@st.composite
+def rbtree_ops(draw):
+    """A random insert/delete/reweight sequence over small float keys."""
+    n_ops = draw(st.integers(1, 60))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(("insert", "delete", "reweight")))
+        vruntime = draw(
+            st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False)
+        )
+        tid = draw(st.integers(0, 15))
+        ops.append((kind, vruntime, tid))
+    return ops
+
+
+@given(ops=rbtree_ops())
+@settings(max_examples=150, deadline=None)
+def test_rbtree_against_sorted_list_oracle(ops):
+    """Randomised rbtree mutations cross-checked against a sorted list.
+
+    The oracle is the obvious O(n log n) structure: a sorted list of
+    (vruntime, tid) keys.  After every operation the tree must agree
+    with it on ordering, membership and the leftmost entry, and keep
+    every red-black invariant.
+    """
+    tree = RBTree()
+    oracle: dict[int, float] = {}  # tid -> vruntime currently in the tree
+
+    for kind, vruntime, tid in ops:
+        if kind == "insert" and tid not in oracle:
+            tree.insert((vruntime, tid), f"task{tid}")
+            oracle[tid] = vruntime
+        elif kind == "delete" and tid in oracle:
+            value = tree.remove((oracle.pop(tid), tid))
+            assert value == f"task{tid}"
+        elif kind == "reweight" and tid in oracle:
+            tree.remove((oracle[tid], tid))
+            tree.insert((vruntime, tid), f"task{tid}")
+            oracle[tid] = vruntime
+
+        assert tree.invariant_violations() == []
+        expected = sorted((v, t) for t, v in oracle.items())
+        assert list(tree.keys()) == expected
+        assert len(tree) == len(expected)
+        assert tree.leftmost() == (
+            (expected[0], f"task{expected[0][1]}") if expected else None
+        )
+
+    # Drain in order: pop_leftmost yields the oracle's sorted sequence.
+    drained = []
+    while True:
+        entry = tree.pop_leftmost()
+        if entry is None:
+            break
+        drained.append(entry[0])
+        assert tree.invariant_violations() == []
+    assert drained == sorted((v, t) for t, v in oracle.items())
 
 
 @given(

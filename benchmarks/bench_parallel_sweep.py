@@ -1,0 +1,126 @@
+"""Parallel sweep + persistent cache: measure the speedups the PR claims.
+
+Three measurements over one reduced (mix x config x scheduler) sweep with
+a pure estimator:
+
+* serial baseline -- ``sweep(jobs=1)`` on a fresh context, no caches;
+* process-pool runs -- ``jobs=2`` and ``jobs=4`` on fresh contexts, no
+  persistent cache (pure fan-out cost);
+* persistent cache -- a cold run filling a temp cache directory, then a
+  warm run on a fresh context served entirely from disk.
+
+Acceptance:
+
+* warm cache >= 5x over the serial baseline (always asserted -- a disk
+  read must beat a simulation on any host);
+* jobs=4 >= 2x over serial, asserted only when the host actually has >= 4
+  CPUs (a process pool cannot beat serial on fewer cores than workers;
+  the measured ratio is still recorded either way);
+* parallel results bit-identical to serial (asserted every run).
+
+Writes ``BENCH_parallel.json`` at the repo root so CI can diff the perf
+trajectory across sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from benchmarks.conftest import BENCH_SEED, emit
+from repro.experiments.runner import ExperimentContext, sweep
+from repro.model.speedup import OracleSpeedupModel
+
+#: Reduced sweep: 4 mixes x 2 configs x 3 schedulers = 24 points.
+MIXES_UNDER_TEST = ["Sync-1", "Sync-2", "NSync-1", "Comm-1"]
+CONFIGS_UNDER_TEST = ("2B2S", "4B2S")
+#: Smaller than the figure benches: the subject is the executor and the
+#: cache, not the simulator; structure still spans sync/nsync/comm mixes.
+SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", "0.08"))
+
+MIN_WARM_CACHE_SPEEDUP = 5.0
+MIN_JOBS4_SPEEDUP = 2.0
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def fresh_ctx(**overrides) -> ExperimentContext:
+    """A fresh campaign context with a pure (cache-eligible) estimator."""
+    defaults = dict(
+        seed=BENCH_SEED,
+        work_scale=SCALE,
+        estimator=OracleSpeedupModel(noise_std=0.0, seed=BENCH_SEED),
+    )
+    defaults.update(overrides)
+    return ExperimentContext(**defaults)
+
+
+def timed_sweep(ctx: ExperimentContext, **kwargs):
+    started = time.perf_counter()
+    results = sweep(ctx, MIXES_UNDER_TEST, configs=CONFIGS_UNDER_TEST, **kwargs)
+    return time.perf_counter() - started, results
+
+
+def measure() -> dict:
+    serial_s, serial = timed_sweep(fresh_ctx())
+
+    pool_runs = {}
+    for jobs in (2, 4):
+        pool_s, pooled = timed_sweep(fresh_ctx(), jobs=jobs)
+        assert pooled == serial, f"jobs={jobs} result differs from serial"
+        pool_runs[jobs] = pool_s
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold_s, cold = timed_sweep(fresh_ctx(cache_dir=tmp))
+        assert cold == serial, "cold cached run differs from serial"
+        warm_ctx = fresh_ctx(cache_dir=tmp)
+        warm_s, warm = timed_sweep(warm_ctx)
+        assert warm == serial, "warm cached run differs from serial"
+        warm_hits = warm_ctx.obs_metrics.counter("cache.persistent.hits").value
+
+    return {
+        "points": len(serial),
+        "work_scale": SCALE,
+        "cpu_count": os.cpu_count(),
+        "serial_s": serial_s,
+        "jobs2_s": pool_runs[2],
+        "jobs4_s": pool_runs[4],
+        "jobs2_speedup": serial_s / pool_runs[2],
+        "jobs4_speedup": serial_s / pool_runs[4],
+        "cold_cache_s": cold_s,
+        "warm_cache_s": warm_s,
+        "warm_cache_speedup": serial_s / warm_s,
+        "warm_cache_hits": warm_hits,
+        "min_warm_cache_speedup": MIN_WARM_CACHE_SPEEDUP,
+        "min_jobs4_speedup": MIN_JOBS4_SPEEDUP,
+        "jobs4_speedup_asserted": (os.cpu_count() or 1) >= 4,
+    }
+
+
+def test_parallel_sweep_and_cache_speedup(benchmark):
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    emit(
+        benchmark,
+        f"Parallel sweep + persistent cache ({report['points']} points, "
+        f"{report['cpu_count']} CPUs)\n"
+        f"  serial        : {report['serial_s']:7.2f} s\n"
+        f"  jobs=2        : {report['jobs2_s']:7.2f} s "
+        f"({report['jobs2_speedup']:.2f}x)\n"
+        f"  jobs=4        : {report['jobs4_s']:7.2f} s "
+        f"({report['jobs4_speedup']:.2f}x)\n"
+        f"  cold cache    : {report['cold_cache_s']:7.2f} s\n"
+        f"  warm cache    : {report['warm_cache_s']:7.2f} s "
+        f"({report['warm_cache_speedup']:.1f}x, "
+        f"{report['warm_cache_hits']:.0f} hits)\n"
+        f"  wrote {ARTIFACT.name}",
+        jobs4_speedup=report["jobs4_speedup"],
+        warm_cache_speedup=report["warm_cache_speedup"],
+    )
+    assert report["warm_cache_hits"] == report["points"]
+    assert report["warm_cache_speedup"] >= MIN_WARM_CACHE_SPEEDUP, report
+    if report["jobs4_speedup_asserted"]:
+        assert report["jobs4_speedup"] >= MIN_JOBS4_SPEEDUP, report

@@ -23,10 +23,20 @@ from repro.experiments.runner import ExperimentContext
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
+    cache_dir = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache_dir = args.cache_dir
+        else:
+            from repro.parallel.cache import default_cache_dir
+
+            cache_dir = default_cache_dir()
     return ExperimentContext(
         seed=args.seed,
         work_scale=args.scale,
         use_learned_model=not args.oracle,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
     )
 
 
@@ -80,17 +90,16 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
     from repro.analysis.export import campaign_to_dict
     from repro.analysis.fairness import fairness_index
-    from repro.experiments.runner import evaluate_mix
+    from repro.experiments.runner import sweep
     from repro.workloads.mixes import MIXES
 
     ctx = _context(args)
-    points = []
-    for scheduler in args.schedulers.split(","):
-        metrics = evaluate_mix(
-            ctx, args.mix, args.config, scheduler.strip(),
-            sanitize=args.sanitize,
-        )
-        points.append(metrics)
+    schedulers = tuple(s.strip() for s in args.schedulers.split(","))
+    points = sweep(
+        ctx, [args.mix], configs=(args.config,), schedulers=schedulers,
+        sanitize=args.sanitize,
+    )
+    for metrics in points:
         baselines = ctx.baselines_for(MIXES[args.mix], args.config)
         fairness = fairness_index(metrics.turnarounds, baselines)
         apps = "  ".join(
@@ -210,6 +219,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--oracle",
         action="store_true",
         help="use the oracle speedup model instead of the trained one",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweeps (1 = serial; results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result-cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent on-disk result cache",
     )
     parser.add_argument(
         "--bars",

@@ -31,6 +31,7 @@ from repro.experiments.runner import (
     SCHEDULERS,
     ExperimentContext,
     evaluate_mix,
+    sweep,
 )
 from repro.metrics.turnaround import geomean
 from repro.sim.topology import standard_topologies
@@ -66,6 +67,28 @@ def mixes_for_group(group: str, config: str) -> list[str]:
     if group == "4-prog":
         return [m.index for m in MIXES.values() if m.n_programs == 4]
     raise ExperimentError(f"unknown group {group!r}")
+
+
+# ---------------------------------------------------------------------------
+# Parallel prewarm
+# ---------------------------------------------------------------------------
+
+
+def _prewarm(
+    ctx: ExperimentContext,
+    mix_indices: list[str],
+    schedulers: tuple[str, ...] = SCHEDULERS,
+) -> None:
+    """Fill the context's metrics caches over a process pool.
+
+    The figure drivers read points one at a time through
+    :func:`evaluate_mix`; when the context asks for parallelism
+    (``ctx.jobs > 1``) this evaluates the whole cross product up front
+    via :func:`sweep` so every subsequent read is a cache hit.  A no-op
+    for serial contexts.
+    """
+    if ctx.jobs > 1 and mix_indices:
+        sweep(ctx, mix_indices, schedulers=schedulers)
 
 
 # ---------------------------------------------------------------------------
@@ -114,6 +137,13 @@ def grouped_figure(
     schedulers: tuple[str, ...] = ("wash", "colab"),
 ) -> list[FigureSeries]:
     """Build the H_ANTT and H_STP panels for a list of groups."""
+    needed: list[str] = []
+    for group in groups:
+        for config in CONFIGS:
+            for index in mixes_for_group(group, config):
+                if index not in needed:
+                    needed.append(index)
+    _prewarm(ctx, needed, schedulers=("linux", *schedulers))
     x_labels = [
         f"{group}/{config}" for group in groups for config in CONFIGS
     ] + [f"{group}/geomean" for group in groups]
@@ -225,6 +255,7 @@ class Summary:
 def summary(ctx: ExperimentContext) -> Summary:
     """Aggregate every (mix, config) point into headline improvements."""
     indices = list(MIXES)
+    _prewarm(ctx, indices)
     ratios_cl, ratios_cw, ratios_wl = [], [], []
     stp_cl, stp_cw = [], []
     for index in indices:

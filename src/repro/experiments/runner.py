@@ -9,18 +9,26 @@ on it.
 All runs share one :class:`ExperimentContext`, which carries the seed, the
 work scale, the trained speedup model (WASH and COLAB share it, as in the
 paper where both use the same performance-model machinery), the baseline
-cache, and a process-wide result cache so the figure drivers that regroup
-the same 26 x 4 x 3 sweep (Figures 8 and 9) do not re-simulate it.
+cache, and two bounded in-process caches so the figure drivers that
+regroup the same 26 x 4 x 3 sweep (Figures 8 and 9) do not re-simulate
+it.  A context may additionally carry a persistent on-disk cache
+(:class:`repro.parallel.cache.ResultCache`) and a worker count, in which
+case :func:`sweep` fans evaluation points out over a process pool with
+deterministic merging (:mod:`repro.parallel.executor`).
 """
 
 from __future__ import annotations
 
+import pathlib
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
 
 from repro.errors import ExperimentError
 from repro.metrics.baselines import BaselineCache
 from repro.metrics.turnaround import h_antt, h_stp
 from repro.model.speedup import OracleSpeedupModel, SpeedupEstimator
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.schedulers import make_scheduler
 from repro.sim.machine import Machine, MachineConfig, RunResult
 from repro.sim.topology import Topology, make_topology, standard_topologies
@@ -32,6 +40,63 @@ SCHEDULERS = ("linux", "wash", "colab")
 
 #: The four hardware configurations of Section 5.1.
 CONFIGS = ("2B2S", "2B4S", "4B2S", "4B4S")
+
+#: One simulation: (mix index, config, scheduler, big-cores-first order).
+RunKey = tuple[str, str, str, bool]
+#: One evaluation point: (mix index, config, scheduler), order-averaged.
+MetricsKey = tuple[str, str, str]
+
+_K = TypeVar("_K")
+_V = TypeVar("_V")
+
+
+class BoundedCache(Generic[_K, _V]):
+    """A small LRU map with hit/miss/eviction counters.
+
+    The context's run and metrics caches used to be unbounded ``dict``s;
+    a long-lived context (a bench session, a service) could grow them
+    without limit.  The bound is sized so one full 26 x 4 x 3 campaign
+    (624 runs, 312 points) still fits entirely -- eviction only kicks in
+    beyond that -- and the counters publish into the context's
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self, maxsize: int, hits: Counter, misses: Counter, evictions: Counter
+    ) -> None:
+        if maxsize < 1:
+            raise ExperimentError(f"cache maxsize {maxsize} < 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict[_K, _V] = OrderedDict()
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+
+    def get(self, key: _K) -> _V | None:
+        """The cached value (refreshing recency), or ``None`` on miss."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses.inc()
+            return None
+        self._data.move_to_end(key)
+        self.hits.inc()
+        return value
+
+    def put(self, key: _K, value: _V) -> None:
+        """Insert/refresh ``key``, evicting the least recent beyond bound."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions.inc()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: _K) -> bool:
+        return key in self._data
 
 
 @dataclass
@@ -61,18 +126,106 @@ class ExperimentContext:
             paper-faithful trained model (lazily, cached per process);
             pass an :class:`~repro.model.speedup.OracleSpeedupModel` for
             the model ablation or for fast tests.
+        jobs: Default worker-process count for :func:`sweep` and the
+            figure drivers; 1 means serial execution in this process.
+        cache_dir: Directory for the persistent on-disk result cache; the
+            default ``None`` disables persistence (pass
+            :func:`repro.parallel.cache.default_cache_dir` for the
+            conventional location).
+        result_cache: An explicit cache backend (anything with the
+            :class:`repro.parallel.cache.ResultCache` ``load``/``store``
+            surface); overrides ``cache_dir``.
+        executor_factory: Pluggable pool constructor
+            ``(max_workers, initializer, initargs) -> Executor`` used by
+            the parallel sweep; ``None`` selects
+            :class:`concurrent.futures.ProcessPoolExecutor`.
     """
+
+    #: In-process cache bounds; one full campaign (624 runs, 312 points)
+    #: fits with headroom, so eviction only affects multi-campaign use.
+    RUN_CACHE_SIZE = 1024
+    METRICS_CACHE_SIZE = 512
 
     seed: int = 42
     work_scale: float = 1.0
     estimator: SpeedupEstimator | None = None
     use_learned_model: bool = True
-    _run_cache: dict = field(default_factory=dict)
-    _metrics_cache: dict = field(default_factory=dict)
-    _baselines: BaselineCache | None = None
+    jobs: int = 1
+    cache_dir: str | pathlib.Path | None = None
+    result_cache: object | None = None
+    executor_factory: Callable[..., object] | None = None
+    obs_metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(enabled=True), repr=False
+    )
+    _run_cache: "BoundedCache[RunKey, RunResult]" = field(
+        init=False, repr=False
+    )
+    _metrics_cache: "BoundedCache[MetricsKey, MixMetrics]" = field(
+        init=False, repr=False
+    )
+    _baselines: BaselineCache | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._baselines = BaselineCache(seed=self.seed, work_scale=self.work_scale)
+        registry = self.obs_metrics
+        self._run_cache = BoundedCache(
+            self.RUN_CACHE_SIZE,
+            registry.counter("ctx.run_cache.hits"),
+            registry.counter("ctx.run_cache.misses"),
+            registry.counter("ctx.run_cache.evictions"),
+        )
+        self._metrics_cache = BoundedCache(
+            self.METRICS_CACHE_SIZE,
+            registry.counter("ctx.metrics_cache.hits"),
+            registry.counter("ctx.metrics_cache.misses"),
+            registry.counter("ctx.metrics_cache.evictions"),
+        )
+        if self.result_cache is None and self.cache_dir is not None:
+            from repro.parallel.cache import ResultCache
+
+            self.result_cache = ResultCache(self.cache_dir, metrics=registry)
+
+    # ------------------------------------------------------------------
+    # Persistent-cache plumbing
+    # ------------------------------------------------------------------
+    def _point_entry(
+        self, mix_index: str, config: str, scheduler: str
+    ) -> tuple[str, dict] | None:
+        """(fingerprint, key material) of a point, or None if uncacheable."""
+        if self.result_cache is None:
+            return None
+        from repro.parallel.fingerprint import (
+            point_fingerprint,
+            point_key_material,
+        )
+
+        material = point_key_material(self, mix_index, config, scheduler)
+        if material is None:
+            return None
+        return point_fingerprint(material), material
+
+    def peek_metrics(
+        self, mix_index: str, config: str, scheduler: str
+    ) -> "MixMetrics | None":
+        """Cached metrics of one point (in-process, then persistent)."""
+        hit = self._metrics_cache.get((mix_index, config, scheduler))
+        if hit is not None:
+            return hit
+        entry = self._point_entry(mix_index, config, scheduler)
+        if entry is None:
+            return None
+        cached = self.result_cache.load(entry[0])
+        if cached is not None:
+            self._metrics_cache.put((mix_index, config, scheduler), cached)
+        return cached
+
+    def store_metrics(self, metrics: "MixMetrics") -> None:
+        """Record one computed point in every cache layer it belongs in."""
+        key = (metrics.mix_index, metrics.config, metrics.scheduler)
+        self._metrics_cache.put(key, metrics)
+        entry = self._point_entry(*key)
+        if entry is not None:
+            self.result_cache.store(entry[0], metrics, entry[1])
 
     # ------------------------------------------------------------------
     def get_estimator(self) -> SpeedupEstimator:
@@ -128,8 +281,10 @@ def run_mix_once(
     """
     key = (mix.index, config, scheduler_name, big_first)
     cacheable = obs is None and not sanitize
-    if cacheable and key in ctx._run_cache:
-        return ctx._run_cache[key]
+    if cacheable:
+        cached = ctx._run_cache.get(key)
+        if cached is not None:
+            return cached
     topology = ctx.topology(config, big_first)
     machine = Machine(
         topology,
@@ -141,7 +296,7 @@ def run_mix_once(
         machine.add_program(instance)
     result = machine.run()
     if cacheable:
-        ctx._run_cache[key] = result
+        ctx._run_cache.put(key, result)
     return result
 
 
@@ -155,12 +310,14 @@ def evaluate_mix(
     """Order-averaged H_ANTT / H_STP of one evaluation point.
 
     ``sanitize`` runs both orderings under schedsan and bypasses the
-    metrics cache (results are bit-identical either way, but a cached
-    entry would skip the checking the caller asked for).
+    metrics caches -- in-process and persistent -- in both directions
+    (results are bit-identical either way, but a cached entry would skip
+    the checking the caller asked for).
     """
-    key = (mix_index, config, scheduler_name)
-    if not sanitize and key in ctx._metrics_cache:
-        return ctx._metrics_cache[key]
+    if not sanitize:
+        cached = ctx.peek_metrics(mix_index, config, scheduler_name)
+        if cached is not None:
+            return cached
     mix = MIXES.get(mix_index)
     if mix is None:
         raise ExperimentError(f"unknown mix {mix_index!r}")
@@ -191,7 +348,8 @@ def evaluate_mix(
         makespan=sum(makespans) / len(makespans),
         turnarounds=averaged,
     )
-    ctx._metrics_cache[key] = metrics
+    if not sanitize:
+        ctx.store_metrics(metrics)
     return metrics
 
 
@@ -200,10 +358,30 @@ def sweep(
     mix_indices: list[str],
     configs: tuple[str, ...] = CONFIGS,
     schedulers: tuple[str, ...] = SCHEDULERS,
+    jobs: int | None = None,
+    sanitize: bool = False,
 ) -> list[MixMetrics]:
-    """Evaluate the full cross product (cached, order-averaged)."""
+    """Evaluate the full cross product (cached, order-averaged).
+
+    ``jobs`` overrides ``ctx.jobs``; any value above 1 routes through
+    :func:`repro.parallel.executor.parallel_sweep`, whose output is
+    merged in evaluation-point order and is bit-identical to the serial
+    path for pure estimators.
+    """
+    effective_jobs = ctx.jobs if jobs is None else jobs
+    if effective_jobs > 1:
+        from repro.parallel.executor import parallel_sweep
+
+        return parallel_sweep(
+            ctx,
+            mix_indices,
+            configs=configs,
+            schedulers=schedulers,
+            jobs=effective_jobs,
+            sanitize=sanitize,
+        )
     return [
-        evaluate_mix(ctx, mix_index, config, scheduler)
+        evaluate_mix(ctx, mix_index, config, scheduler, sanitize=sanitize)
         for mix_index in mix_indices
         for config in configs
         for scheduler in schedulers

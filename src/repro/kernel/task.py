@@ -86,6 +86,44 @@ class Task:
             performance counters.
     """
 
+    # Tasks are the densest objects in a run (thousands live at once in
+    # thread-overloaded mixes) and their attributes sit on the hottest
+    # accounting paths: __slots__ drops the per-instance dict and makes
+    # every read a fixed-offset load.
+    __slots__ = (
+        "tid",
+        "name",
+        "app_id",
+        "actions",
+        "profile",
+        "state",
+        "vruntime",
+        "sum_exec_runtime",
+        "exec_time_by_kind",
+        "work_done",
+        "wait_started_at",
+        "caused_wait_time",
+        "caused_wait_window",
+        "own_wait_time",
+        "predicted_speedup",
+        "blocking_level",
+        "core_label",
+        "affinity",
+        "rq_core_id",
+        "running_on",
+        "last_core_kind",
+        "last_core_id",
+        "migrations",
+        "pending_penalty",
+        "current_segment",
+        "gen_started",
+        "blocked_action",
+        "pending_result",
+        "spawn_time",
+        "finish_time",
+        "counters",
+    )
+
     def __init__(
         self,
         name: str,

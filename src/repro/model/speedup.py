@@ -49,6 +49,18 @@ class SpeedupEstimator(abc.ABC):
         the estimate (the caller keeps the previous smoothed value).
         """
 
+    @property
+    def is_pure(self) -> bool:
+        """True if :meth:`estimate` is a pure function of its inputs.
+
+        Pure estimators give the same prediction regardless of how many
+        estimates were issued before -- the property the parallel sweep
+        executor and the persistent result cache rely on for bit-identical
+        results.  A noisy oracle draws from a sequential RNG stream and is
+        therefore *not* pure: its predictions depend on run order.
+        """
+        return False
+
 
 class OracleSpeedupModel(SpeedupEstimator):
     """Ground-truth estimator (ablation / testing only).
@@ -59,6 +71,7 @@ class OracleSpeedupModel(SpeedupEstimator):
 
     def __init__(self, noise_std: float = 0.0, seed: int = 0) -> None:
         self.noise_std = noise_std
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def estimate(self, task: "Task", window: dict[str, float]) -> float | None:
@@ -66,6 +79,14 @@ class OracleSpeedupModel(SpeedupEstimator):
         if self.noise_std > 0.0:
             truth += self._rng.normal(0.0, self.noise_std)
         return float(np.clip(truth, SPEEDUP_MIN, SPEEDUP_MAX))
+
+    @property
+    def is_pure(self) -> bool:
+        return self.noise_std == 0.0
+
+    def to_spec(self) -> dict:
+        """JSON-ready constructor arguments (RNG state is *not* captured)."""
+        return {"kind": "oracle", "noise_std": self.noise_std, "seed": self.seed}
 
 
 class LearnedSpeedupModel(SpeedupEstimator):
@@ -109,9 +130,72 @@ class LearnedSpeedupModel(SpeedupEstimator):
         raw = float(self.regression.predict(features))
         return float(np.clip(raw, SPEEDUP_MIN, SPEEDUP_MAX))
 
+    @property
+    def is_pure(self) -> bool:
+        return True
+
+    def to_spec(self) -> dict:
+        """JSON-ready fitted state: coefficients, not training data.
+
+        The spec is exact -- ``float`` values round-trip bit-identically
+        through :func:`estimator_from_spec` -- which is what lets the
+        parallel sweep executor train once in the parent process and ship
+        the fitted model to every worker.
+        """
+        return {
+            "kind": "learned",
+            "selected_counters": list(self.selected_counters),
+            "normalizer": self.normalizer,
+            "intercept": self.regression.intercept_,
+            "coef": [float(c) for c in self.regression.coef_],
+            "r2": self.regression.r2_,
+            "residual_std": self.regression.residual_std_,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "LearnedSpeedupModel":
+        """Rebuild a fitted model from :meth:`to_spec` output."""
+        regression = LinearRegression()
+        regression.intercept_ = float(spec["intercept"])
+        regression.coef_ = np.asarray(spec["coef"], dtype=float)
+        regression.r2_ = spec.get("r2")
+        regression.residual_std_ = spec.get("residual_std")
+        return cls(
+            list(spec["selected_counters"]),
+            regression,
+            normalizer=spec.get("normalizer", "commit.committedInsts"),
+        )
+
     def describe(self) -> str:
         """Human-readable model equation (the regenerated Table 2 body)."""
         parts = [f"{self.regression.intercept_:.4f}"]
         for name, coef in zip(self.selected_counters, self.regression.coef_):
             parts.append(f"({coef:+.4f} * {name}/{self.normalizer})")
         return "speedup = " + " ".join(parts)
+
+
+def estimator_to_spec(estimator: SpeedupEstimator) -> dict:
+    """Serialise ``estimator`` into a picklable/JSON-ready spec dict.
+
+    Raises:
+        ModelError: for estimator types without a spec form (custom
+            estimators cannot be shipped to sweep workers).
+    """
+    if isinstance(estimator, (LearnedSpeedupModel, OracleSpeedupModel)):
+        return estimator.to_spec()
+    raise ModelError(
+        f"estimator {type(estimator).__name__} has no worker-shippable "
+        "spec; run the sweep serially or use a learned/oracle model"
+    )
+
+
+def estimator_from_spec(spec: dict) -> SpeedupEstimator:
+    """Inverse of :func:`estimator_to_spec`."""
+    kind = spec.get("kind")
+    if kind == "learned":
+        return LearnedSpeedupModel.from_spec(spec)
+    if kind == "oracle":
+        return OracleSpeedupModel(
+            noise_std=spec["noise_std"], seed=spec["seed"]
+        )
+    raise ModelError(f"unknown estimator spec kind {kind!r}")

@@ -1,0 +1,167 @@
+"""Process-pool sweep executor with deterministic result merging.
+
+The paper's figure pipeline is one big cross product -- 26 mixes x 4
+hardware configs x 3 schedulers, each point averaging two core orders --
+of *independent* simulations, which
+:func:`repro.experiments.runner.sweep` used to execute strictly
+serially.  :func:`parallel_sweep` fans the evaluation points out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while preserving the
+repo's determinism contract:
+
+* **Deterministic merge** -- results are keyed and collected by
+  evaluation point in submission order, never by completion order, so
+  the returned list is bit-identical to the serial path for any pure
+  (order-insensitive) speedup estimator.  Iterating
+  ``concurrent.futures.as_completed`` here is a lint violation (DET003).
+* **Train once, ship coefficients** -- the parent trains (or reuses) the
+  speedup model a single time and ships its fitted spec
+  (:func:`repro.model.speedup.estimator_to_spec`) to every worker, which
+  rebuilds it exactly instead of re-running the Table 2 pipeline per
+  process.
+* **Cache first, fork later** -- the parent resolves every point it can
+  from the in-process and persistent caches before deciding whether a
+  pool (or model training) is needed at all; a fully warm cache answers
+  without spawning a single worker.
+
+Caveat: an impure estimator (oracle with ``noise_std > 0``) draws from a
+sequential RNG stream, so its predictions depend on how many estimates
+preceded them; parallel partitioning changes that history and such runs
+are *not* bit-identical to serial ones (they remain deterministic for a
+fixed ``jobs`` split).  Pure estimators -- the trained model, the
+noise-free oracle -- are unaffected.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    CONFIGS,
+    SCHEDULERS,
+    ExperimentContext,
+    MixMetrics,
+    evaluate_mix,
+)
+from repro.model.speedup import estimator_from_spec, estimator_to_spec
+
+#: Worker-process context, built once per worker by :func:`_init_worker`.
+_WORKER_CTX: ExperimentContext | None = None
+
+
+def _init_worker(seed: int, work_scale: float, estimator_spec: dict) -> None:
+    """Build the per-worker context from the parent's shipped state."""
+    global _WORKER_CTX
+    _WORKER_CTX = ExperimentContext(
+        seed=seed,
+        work_scale=work_scale,
+        estimator=estimator_from_spec(estimator_spec),
+    )
+
+
+def _eval_point(
+    mix_index: str, config: str, scheduler: str, sanitize: bool
+) -> tuple[MixMetrics, int, float]:
+    """Worker task: one evaluation point plus utilisation bookkeeping."""
+    if _WORKER_CTX is None:  # pragma: no cover - initializer contract
+        raise ExperimentError("worker context missing; pool not initialised")
+    started = time.perf_counter()
+    metrics = evaluate_mix(
+        _WORKER_CTX, mix_index, config, scheduler, sanitize=sanitize
+    )
+    return metrics, os.getpid(), time.perf_counter() - started
+
+
+def parallel_sweep(
+    ctx: ExperimentContext,
+    mix_indices: list[str],
+    configs: tuple[str, ...] = CONFIGS,
+    schedulers: tuple[str, ...] = SCHEDULERS,
+    jobs: int = 2,
+    sanitize: bool = False,
+) -> list[MixMetrics]:
+    """Evaluate the cross product on a process pool; order-stable output.
+
+    Returns the same list, in the same (mix, config, scheduler) order,
+    as the serial :func:`~repro.experiments.runner.sweep`.  Sanitized
+    runs bypass every cache in both directions, exactly like the serial
+    path.
+
+    Args:
+        ctx: The campaign context; its caches are consulted and filled.
+        jobs: Worker process count (values below 1 are clamped to 1).
+        sanitize: Run every point under schedsan (cache-bypassing).
+    """
+    points = [
+        (mix_index, config, scheduler)
+        for mix_index in mix_indices
+        for config in configs
+        for scheduler in schedulers
+    ]
+    results: dict[tuple[str, str, str], MixMetrics] = {}
+    pending: list[tuple[str, str, str]] = []
+    if sanitize:
+        pending = list(points)
+    else:
+        for point in points:
+            hit = ctx.peek_metrics(*point)
+            if hit is not None:
+                results[point] = hit
+            else:
+                pending.append(point)
+
+    registry = ctx.obs_metrics
+    registry.gauge("parallel.jobs").set(max(1, jobs))
+    registry.counter("parallel.points_from_cache").inc(
+        len(points) - len(pending)
+    )
+    if not pending:
+        return [results[point] for point in points]
+
+    # Train (or reuse) the model once in the parent; workers rebuild it
+    # from the fitted spec instead of re-running the training pipeline.
+    estimator_spec = estimator_to_spec(ctx.get_estimator())
+    initargs = (ctx.seed, ctx.work_scale, estimator_spec)
+    factory = ctx.executor_factory
+    if factory is None:
+        factory = lambda workers, initializer, args: ProcessPoolExecutor(  # noqa: E731
+            max_workers=workers, initializer=initializer, initargs=args
+        )
+
+    started = time.perf_counter()
+    busy_s: dict[int, float] = {}
+    points_by_pid: dict[int, int] = {}
+    with factory(max(1, jobs), _init_worker, initargs) as pool:
+        submitted = [
+            (point, pool.submit(_eval_point, *point, sanitize))
+            for point in pending
+        ]
+        # Deterministic merge: collect by evaluation point in submission
+        # order.  Completion order must never influence the output (or
+        # anything else observable) -- see DET003.
+        for point, future in submitted:
+            metrics, pid, seconds = future.result()
+            results[point] = metrics
+            busy_s[pid] = busy_s.get(pid, 0.0) + seconds
+            points_by_pid[pid] = points_by_pid.get(pid, 0) + 1
+    elapsed = time.perf_counter() - started
+
+    if not sanitize:
+        for point in pending:
+            ctx.store_metrics(results[point])
+
+    registry.counter("parallel.points_executed").inc(len(pending))
+    registry.gauge("parallel.wall_s").set(elapsed)
+    registry.gauge("parallel.workers_used").set(len(busy_s))
+    for index, pid in enumerate(sorted(busy_s)):
+        registry.gauge(f"parallel.worker.{index}.busy_s").set(busy_s[pid])
+        registry.gauge(f"parallel.worker.{index}.points").set(
+            points_by_pid[pid]
+        )
+        if elapsed > 0.0:
+            registry.gauge(f"parallel.worker.{index}.utilization").set(
+                busy_s[pid] / elapsed
+            )
+    return [results[point] for point in points]

@@ -1,0 +1,116 @@
+"""Cache-key fingerprints for evaluation points.
+
+One persistent-cache entry corresponds to one *evaluation point* -- a
+(mix, config, scheduler) triple, order-averaged over both core
+enumerations exactly as :func:`repro.experiments.runner.evaluate_mix`
+produces it.  The key is a SHA-256 over canonical JSON of everything the
+outcome is a function of:
+
+* the experiment parameters -- seed, work scale, mix index, hardware
+  config, scheduler, and the fixed big-first/little-first order pair;
+* the estimator identity (fitted coefficients for an explicit learned
+  model, noise/seed for a pure oracle, or the "train with defaults"
+  marker for the lazily trained default model);
+* a hash of the simulator's own source tree, so any code change -- a
+  scheduler tweak, an engine fix -- silently invalidates every stale
+  entry instead of serving results the current code would not produce.
+
+Estimators whose predictions depend on estimate-issue order (a noisy
+oracle draws from a sequential RNG stream) have no stable fingerprint:
+:func:`estimator_fingerprint` returns ``None`` and callers must skip the
+persistent cache for them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import TYPE_CHECKING
+
+from repro.model.speedup import LearnedSpeedupModel, OracleSpeedupModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentContext
+
+#: Bump when the cached payload layout or key material changes shape.
+SCHEMA_VERSION = 1
+
+_SOURCE_HASH: str | None = None
+
+
+def _canonical(material: dict) -> str:
+    return json.dumps(material, sort_keys=True, separators=(",", ":"))
+
+
+def source_tree_hash() -> str:
+    """SHA-256 over every ``repro`` source file (cached per process).
+
+    Hashes (relative path, content digest) pairs of all ``.py`` files
+    under the installed ``repro`` package, in sorted path order, so the
+    digest is stable across machines and checkouts of the same code.
+    """
+    global _SOURCE_HASH
+    if _SOURCE_HASH is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(hashlib.sha256(path.read_bytes()).digest())
+        _SOURCE_HASH = digest.hexdigest()
+    return _SOURCE_HASH
+
+
+def estimator_fingerprint(ctx: "ExperimentContext") -> str | None:
+    """Stable identity of the context's speedup model, or ``None``.
+
+    ``None`` means the estimator is order-sensitive (or of an unknown
+    type) and results must not be served from or written to the
+    persistent cache.
+    """
+    estimator = ctx.estimator
+    if estimator is None:
+        if ctx.use_learned_model:
+            # The default model is fully determined by the training
+            # defaults plus the source tree (already part of the key);
+            # naming it symbolically lets a warm cache skip training.
+            return "learned:default"
+        # The lazily built default oracle carries noise -> order-sensitive.
+        return None
+    if isinstance(estimator, LearnedSpeedupModel):
+        spec = _canonical(estimator.to_spec())
+        return "learned:" + hashlib.sha256(spec.encode()).hexdigest()
+    if isinstance(estimator, OracleSpeedupModel):
+        if not estimator.is_pure:
+            return None
+        return f"oracle:pure:seed={estimator.seed}"
+    return None
+
+
+def point_key_material(
+    ctx: "ExperimentContext", mix_index: str, config: str, scheduler: str
+) -> dict | None:
+    """Key material of one evaluation point, or ``None`` if uncacheable."""
+    estimator_id = estimator_fingerprint(ctx)
+    if estimator_id is None:
+        return None
+    return {
+        "schema": SCHEMA_VERSION,
+        "source_tree": source_tree_hash(),
+        "seed": ctx.seed,
+        "work_scale": ctx.work_scale,
+        "estimator": estimator_id,
+        "mix_index": mix_index,
+        "config": config,
+        "scheduler": scheduler,
+        # One point averages both core enumerations (Section 5.1).
+        "core_orders": ["big_first", "little_first"],
+    }
+
+
+def point_fingerprint(material: dict) -> str:
+    """Content address (SHA-256 hex) of one point's key material."""
+    return hashlib.sha256(_canonical(material).encode()).hexdigest()

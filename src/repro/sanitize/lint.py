@@ -33,6 +33,9 @@ DECISION_SCOPE = (
     "repro/core/",
     "repro/schedulers/",
 )
+#: Where sweep results are produced and merged; the deterministic-merge
+#: contract (submission-order collection) is enforced here.
+MERGE_SCOPE = ("repro/experiments/", "repro/parallel/")
 
 _SUPPRESS_RE = re.compile(r"#\s*sanitize:\s*ignore\[([A-Z0-9,\s]+)\]")
 

@@ -13,6 +13,7 @@ from typing import Iterator
 
 from repro.sanitize.lint import (
     DECISION_SCOPE,
+    MERGE_SCOPE,
     SIM_KERNEL_SCOPE,
     ParsedModule,
     Violation,
@@ -206,6 +207,37 @@ def det002(module: ParsedModule) -> Iterator[Violation]:
         elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
             for generator in node.generators:
                 yield from flag(generator.iter, node)
+
+
+# ----------------------------------------------------------------------
+# DET003 -- no completion-order iteration over executor futures
+# ----------------------------------------------------------------------
+
+_AS_COMPLETED = {"concurrent.futures.as_completed", "asyncio.as_completed"}
+
+
+@rule(
+    "DET003",
+    "no completion-order iteration over executor futures",
+    "Parallel sweeps must merge results keyed by evaluation point in "
+    "submission order; anything driven by as_completed() order -- which "
+    "depends on host load and OS scheduling -- silently varies between "
+    "runs and breaks the serial/parallel bit-identity contract.",
+    MERGE_SCOPE,
+)
+def det003(module: ParsedModule) -> Iterator[Violation]:
+    aliases = _import_aliases(module)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func, aliases)
+        if name in _AS_COMPLETED:
+            yield module.violation(
+                node, "DET003",
+                f"{name}() yields futures in completion order; collect "
+                "futures in a submission-ordered list and merge results "
+                "keyed by evaluation point",
+            )
 
 
 # ----------------------------------------------------------------------

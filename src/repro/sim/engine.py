@@ -19,6 +19,7 @@ on.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -48,7 +49,9 @@ class Engine:
 
     def __init__(self, max_events: int = 50_000_000) -> None:
         self._heap: list[Event] = []
-        self._handlers: dict[EventKind, Handler] = {}
+        # Indexed by EventKind value: list indexing beats dict hashing on
+        # the hottest line of the simulator (every event dispatches here).
+        self._handlers: list[Handler | None] = [None] * len(EventKind)
         self._seq = 0
         self._processed = 0
         self._max_events = max_events
@@ -116,31 +119,41 @@ class Engine:
         self._stopped = True
 
     def step(self) -> Event | None:
-        """Process exactly one event; return it, or ``None`` if idle."""
-        if not self._heap:
+        """Process exactly one event; return it, or ``None`` if idle.
+
+        The engine's own past-event guard runs before the sanitizer sees
+        the event: a corrupted heap is the engine's bug to report
+        (:class:`~repro.errors.SimulationError`), and the sanitizer's
+        monotonicity state must not be advanced by an event the engine
+        refuses to process.
+        """
+        heap = self._heap
+        if not heap:
             return None
-        event = heapq.heappop(self._heap)
+        event = heappop(heap)
+        event_time = event.time
+        if event_time < self.now:
+            raise SimulationError(
+                f"heap produced past event at t={event_time} < now={self.now}"
+            )
         if self.sanitizer is not None:
             self.sanitizer.on_event(event, self.now)
-        if event.time < self.now:
-            raise SimulationError(
-                f"heap produced past event at t={event.time} < now={self.now}"
-            )
-        self.now = event.time
+        self.now = event_time
         self._processed += 1
         if self._processed > self._max_events:
             raise SimulationError(
                 f"exceeded max_events={self._max_events}; "
                 "likely a livelocked workload or scheduler"
             )
-        handler = self._handlers.get(event.kind)
+        kind = event.kind
+        handler = self._handlers[kind]
         if handler is None:
-            raise SimulationError(f"no handler registered for {event.kind.name}")
+            raise SimulationError(f"no handler registered for {kind.name}")
         profiler = self.profiler
         if profiler is not None and profiler.enabled:
             started = profiler.start()
             handler(event)
-            profiler.stop(f"engine.handle.{event.kind.name}", started)
+            profiler.stop(f"engine.handle.{kind.name}", started)
         else:
             handler(event)
         return event

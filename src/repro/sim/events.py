@@ -44,7 +44,7 @@ class EventKind(enum.IntEnum):
     CALLBACK = 5
 
 
-@dataclass(order=False)
+@dataclass(order=False, slots=True)
 class Event:
     """A single simulator event.
 

@@ -104,7 +104,7 @@ class MachineConfig:
     dvfs: object | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskStats:
     """Per-task outcome summary."""
 
@@ -560,7 +560,12 @@ class Machine:
         )
 
     def _account(self, core: Core, now: float) -> None:
-        """Charge execution since ``core.run_started`` to the running task."""
+        """Charge execution since ``core.run_started`` to the running task.
+
+        Hot path: runs at every deschedule/preempt/segment boundary, so
+        repeated attribute reads are hoisted into locals.  The arithmetic
+        (and its order) is untouched -- outcomes stay bit-identical.
+        """
         task = core.current
         if task is None:
             raise SimulationError(f"accounting on idle core {core.core_id}")
@@ -569,28 +574,35 @@ class Machine:
             raise SimulationError(f"negative elapsed {elapsed}")
         elapsed = max(0.0, elapsed)
         if elapsed > 0.0:
-            penalty_used = min(elapsed, task.pending_penalty)
-            task.pending_penalty -= penalty_used
+            pending = task.pending_penalty
+            penalty_used = min(elapsed, pending)
+            task.pending_penalty = pending - penalty_used
             productive = elapsed - penalty_used
             segment = task.current_segment
             work = 0.0
             if segment is not None and productive > 0.0:
-                work = min(productive * core.rate_for(task), segment.remaining)
-                segment.remaining -= work
-                if segment.remaining < _EPS:
-                    segment.remaining = 0.0
+                remaining = segment.remaining
+                work = min(productive * core.rate_for(task), remaining)
+                remaining -= work
+                if remaining < _EPS:
+                    remaining = 0.0
+                segment.remaining = remaining
             task.sum_exec_runtime += elapsed
             task.exec_time_by_kind[core.kind.value] += elapsed
             task.work_done += work
-            if task.counters is not None and work > 0.0:
-                task.counters.record_compute(work, productive)
+            counters = task.counters
+            if counters is not None and work > 0.0:
+                counters.record_compute(work, productive)
             self.scheduler.charge(task, core, elapsed, now)
             core.busy_time += elapsed
-            by_scale = core.stats.setdefault("busy_by_scale", {})
-            by_scale[core.freq_scale] = by_scale.get(core.freq_scale, 0.0) + elapsed
+            stats = core.stats
+            by_scale = stats.setdefault("busy_by_scale", {})
+            scale = core.freq_scale
+            by_scale[scale] = by_scale.get(scale, 0.0) + elapsed
         core.run_started = now
-        if core.rq is not None:
-            core.rq.update_min_vruntime(task.vruntime)
+        rq = core.rq
+        if rq is not None:
+            rq.update_min_vruntime(task.vruntime)
 
     # ------------------------------------------------------------------
     # Wakeups
@@ -699,21 +711,28 @@ class Machine:
         Returns one of ``"compute"`` (a segment is installed and the task
         keeps the core), ``"blocked"``, ``"done"``, or ``"preempted"``
         (a task woken by one of our zero-time actions preempted us).
+
+        Hot path: every resumption funnels through this loop, so the
+        generator handle and the action dispatcher are hoisted into
+        locals up front.
         """
+        actions = task.actions
+        send = actions.send
+        apply_action = self._apply_action
         for _ in range(self.config.max_actions_per_advance):
             try:
                 if not task.gen_started:
                     task.gen_started = True
-                    action = next(task.actions)
+                    action = next(actions)
                 else:
                     result = task.pending_result
                     task.pending_result = None
-                    action = task.actions.send(result)
+                    action = send(result)
             except StopIteration:
                 self._finish_task(task, core, now)
                 return "done"
 
-            status = self._apply_action(task, core, action, now)
+            status = apply_action(task, core, action, now)
             if status == "compute":
                 return "compute"
             if status == "blocked":

@@ -1,0 +1,229 @@
+"""Parity and cache-behaviour tests for the process-pool sweep executor.
+
+The determinism contract under test: for a *pure* speedup estimator the
+sweep result is a function of (workload, topology, scheduler, seed,
+core-order) only -- never of worker count, completion order, or whether a
+point came from the persistent cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    BoundedCache,
+    ExperimentContext,
+    evaluate_mix,
+    sweep,
+)
+from repro.model.speedup import OracleSpeedupModel
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.executor import parallel_sweep
+
+#: Small but structurally interesting subset: 2 mixes x 2 configs x 3
+#: schedulers = 12 evaluation points, 24 simulations.
+MIX_SUBSET = ["Sync-1", "NSync-1"]
+CONFIG_SUBSET = ("2B2S", "4B2S")
+WORK_SCALE = 0.04
+
+
+def pure_ctx(**overrides) -> ExperimentContext:
+    defaults = dict(
+        seed=11,
+        work_scale=WORK_SCALE,
+        estimator=OracleSpeedupModel(noise_std=0.0, seed=11),
+    )
+    defaults.update(overrides)
+    return ExperimentContext(**defaults)
+
+
+def run_sweep(ctx: ExperimentContext, **kwargs):
+    return sweep(ctx, MIX_SUBSET, configs=CONFIG_SUBSET, **kwargs)
+
+
+class TestParallelSerialParity:
+    def test_jobs1_pool_matches_serial(self):
+        serial = run_sweep(pure_ctx())
+        pooled = parallel_sweep(
+            pure_ctx(), MIX_SUBSET, configs=CONFIG_SUBSET, jobs=1
+        )
+        assert pooled == serial
+
+    def test_jobs4_pool_matches_serial(self):
+        serial = run_sweep(pure_ctx())
+        pooled = parallel_sweep(
+            pure_ctx(), MIX_SUBSET, configs=CONFIG_SUBSET, jobs=4
+        )
+        assert pooled == serial
+
+    def test_sweep_jobs_argument_routes_to_pool(self):
+        serial = run_sweep(pure_ctx())
+        parallel = run_sweep(pure_ctx(), jobs=2)
+        assert parallel == serial
+
+    def test_ctx_jobs_field_routes_to_pool(self):
+        serial = run_sweep(pure_ctx())
+        ctx = pure_ctx(jobs=2)
+        assert run_sweep(ctx) == serial
+        assert ctx.obs_metrics.gauge("parallel.jobs").value == 2.0
+
+    def test_result_order_is_point_order_not_completion_order(self):
+        results = run_sweep(pure_ctx(), jobs=4)
+        expected = [
+            (mix, config, scheduler)
+            for mix in MIX_SUBSET
+            for config in CONFIG_SUBSET
+            for scheduler in ("linux", "wash", "colab")
+        ]
+        assert [
+            (m.mix_index, m.config, m.scheduler) for m in results
+        ] == expected
+
+    def test_sanitized_parallel_matches_plain(self):
+        plain = run_sweep(pure_ctx())
+        checked = run_sweep(pure_ctx(), jobs=2, sanitize=True)
+        assert checked == plain
+
+    def test_worker_utilisation_metrics_recorded(self):
+        ctx = pure_ctx(jobs=2)
+        run_sweep(ctx)
+        snapshot = ctx.obs_metrics.snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        assert counters["parallel.points_executed"] == 12.0
+        assert gauges["parallel.workers_used"] >= 1.0
+        assert gauges["parallel.worker.0.busy_s"] > 0.0
+        assert gauges["parallel.worker.0.points"] >= 1.0
+
+
+class TestPersistentCacheParity:
+    def test_cold_vs_warm_is_bit_identical(self, tmp_path):
+        cold_ctx = pure_ctx(cache_dir=tmp_path)
+        cold = run_sweep(cold_ctx)
+        assert len(cold_ctx.result_cache) == 12
+
+        warm_ctx = pure_ctx(cache_dir=tmp_path)
+        warm = run_sweep(warm_ctx)
+        assert warm == cold
+        hits = warm_ctx.obs_metrics.counter("cache.persistent.hits").value
+        assert hits == 12.0
+
+    def test_warm_cache_answers_parallel_sweep_without_pool(self, tmp_path):
+        run_sweep(pure_ctx(cache_dir=tmp_path))
+
+        def refuse_pool(*_args, **_kwargs):
+            raise AssertionError("warm cache must not spawn a pool")
+
+        warm_ctx = pure_ctx(cache_dir=tmp_path, executor_factory=refuse_pool)
+        warm = run_sweep(warm_ctx, jobs=4)
+        assert warm == run_sweep(pure_ctx())
+        from_cache = warm_ctx.obs_metrics.counter(
+            "parallel.points_from_cache"
+        ).value
+        assert from_cache == 12.0
+
+    def test_parallel_sweep_fills_persistent_cache(self, tmp_path):
+        ctx = pure_ctx(cache_dir=tmp_path)
+        run_sweep(ctx, jobs=2)
+        assert len(ctx.result_cache) == 12
+        warm = run_sweep(pure_ctx(cache_dir=tmp_path))
+        assert warm == run_sweep(pure_ctx())
+
+    def test_impure_estimator_never_persists(self, tmp_path):
+        ctx = pure_ctx(
+            estimator=OracleSpeedupModel(noise_std=0.1, seed=11),
+            cache_dir=tmp_path,
+        )
+        evaluate_mix(ctx, "Sync-1", "2B2S", "colab")
+        assert len(ctx.result_cache) == 0
+
+    def test_sanitized_runs_bypass_persistent_cache(self, tmp_path):
+        ctx = pure_ctx(cache_dir=tmp_path)
+        evaluate_mix(ctx, "Sync-1", "2B2S", "colab", sanitize=True)
+        assert len(ctx.result_cache) == 0
+
+    def test_seed_change_misses_cache(self, tmp_path):
+        ctx = pure_ctx(cache_dir=tmp_path)
+        evaluate_mix(ctx, "Sync-1", "2B2S", "colab")
+        other = pure_ctx(
+            seed=12,
+            estimator=OracleSpeedupModel(noise_std=0.0, seed=12),
+            cache_dir=tmp_path,
+        )
+        evaluate_mix(other, "Sync-1", "2B2S", "colab")
+        assert other.obs_metrics.counter("cache.persistent.hits").value == 0.0
+        assert len(ctx.result_cache) == 2
+
+
+class TestBoundedCache:
+    def make(self, maxsize=3):
+        registry = MetricsRegistry(enabled=True)
+        return (
+            BoundedCache(
+                maxsize,
+                registry.counter("hits"),
+                registry.counter("misses"),
+                registry.counter("evictions"),
+            ),
+            registry,
+        )
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ExperimentError):
+            self.make(maxsize=0)
+
+    def test_hit_miss_counters(self):
+        cache, registry = self.make()
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert registry.counter("hits").value == 1.0
+        assert registry.counter("misses").value == 1.0
+
+    def test_lru_eviction_order(self):
+        cache, registry = self.make(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert registry.counter("evictions").value == 1.0
+
+    def test_put_refreshes_existing_key(self):
+        cache, _ = self.make(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_context_cache_counters_wired(self):
+        ctx = pure_ctx()
+        evaluate_mix(ctx, "Sync-1", "2B2S", "colab")
+        evaluate_mix(ctx, "Sync-1", "2B2S", "colab")
+        snapshot = ctx.obs_metrics.snapshot()["counters"]
+        assert snapshot["ctx.metrics_cache.hits"] == 1.0
+        assert snapshot["ctx.run_cache.misses"] == 2.0  # both core orders
+
+
+class TestContextFields:
+    def test_defaults_are_serial_and_uncached(self):
+        ctx = ExperimentContext()
+        assert ctx.jobs == 1
+        assert ctx.result_cache is None
+
+    def test_run_cache_still_deduplicates_runs(self):
+        ctx = pure_ctx()
+        a = evaluate_mix(ctx, "Sync-1", "2B2S", "colab")
+        b = evaluate_mix(ctx, "Sync-1", "2B2S", "colab")
+        assert a is b  # in-process metrics cache returns the same object
+
+    def test_dataclass_replace_keeps_working(self):
+        ctx = pure_ctx()
+        clone = dataclasses.replace(ctx, seed=99)
+        assert clone.seed == 99
+        assert clone._metrics_cache is not ctx._metrics_cache

@@ -105,6 +105,71 @@ class TestDET002:
         assert codes == []
 
 
+class TestDET003:
+    REL = "repro/parallel/mod.py"
+
+    def test_as_completed_iteration_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "from concurrent.futures import as_completed\n"
+            "def merge(futures):\n"
+            "    return [f.result() for f in as_completed(futures)]\n",
+            rel=self.REL,
+        )
+        assert codes == ["DET003"]
+
+    def test_as_completed_through_module_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "import concurrent.futures\n"
+            "def merge(futures):\n"
+            "    for f in concurrent.futures.as_completed(futures):\n"
+            "        f.result()\n",
+            rel=self.REL,
+        )
+        assert codes == ["DET003"]
+
+    def test_asyncio_as_completed_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "import asyncio\n"
+            "async def merge(aws):\n"
+            "    for f in asyncio.as_completed(aws):\n"
+            "        await f\n",
+            rel=self.REL,
+        )
+        assert codes == ["DET003"]
+
+    def test_flagged_in_experiments_scope(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "from concurrent.futures import as_completed\n"
+            "def merge(fs):\n"
+            "    return list(as_completed(fs))\n",
+            rel="repro/experiments/mod.py",
+        )
+        assert codes == ["DET003"]
+
+    def test_submission_order_merge_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def merge(submitted):\n"
+            "    return [future.result() for _, future in submitted]\n",
+            rel=self.REL,
+        )
+        assert codes == []
+
+    def test_out_of_scope_not_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "from concurrent.futures import as_completed\n"
+            "def merge(fs):\n"
+            "    return list(as_completed(fs))\n",
+            rel="repro/analysis/mod.py",
+        )
+        assert codes == []
+
+
 class TestOBS001:
     def test_unguarded_emit_flagged(self, tmp_path):
         codes = lint_source(

@@ -143,6 +143,81 @@ class TestControls:
         assert engine.processed == 5
 
 
+class TestSanitizerOrdering:
+    """The engine's past-event guard must fire before the sanitizer sees
+    the event (regression: schedsan used to observe -- and advance its
+    monotonicity clock on -- events the engine then refused)."""
+
+    def _engine_with_sanitizer(self):
+        from repro.sanitize.schedsan import SchedSanitizer
+
+        engine, _seen = collecting_engine()
+        engine.sanitizer = SchedSanitizer()
+        return engine
+
+    def test_corrupted_heap_raises_simulation_error(self):
+        import heapq
+
+        engine = self._engine_with_sanitizer()
+        engine.push(Event(time=5.0, kind=EventKind.CALLBACK))
+        engine.step()
+        assert engine.now == 5.0
+        # Bypass push() to plant a past event, as a heap corruption would.
+        stale = Event(time=1.0, kind=EventKind.CALLBACK, seq=99)
+        heapq.heappush(engine._heap, stale)
+        with pytest.raises(SimulationError, match="past event"):
+            engine.step()
+
+    def test_sanitizer_state_untouched_by_rejected_event(self):
+        import heapq
+
+        engine = self._engine_with_sanitizer()
+        engine.push(Event(time=5.0, kind=EventKind.CALLBACK))
+        engine.step()
+        checks_before = engine.sanitizer.checks_run
+        last_before = engine.sanitizer._last_event_time
+        heapq.heappush(
+            engine._heap, Event(time=1.0, kind=EventKind.CALLBACK, seq=99)
+        )
+        with pytest.raises(SimulationError):
+            engine.step()
+        assert engine.sanitizer.checks_run == checks_before
+        assert engine.sanitizer._last_event_time == last_before
+
+    def test_valid_events_still_reach_sanitizer(self):
+        engine = self._engine_with_sanitizer()
+        engine.push(Event(time=1.0, kind=EventKind.CALLBACK))
+        engine.push(Event(time=2.0, kind=EventKind.CALLBACK))
+        engine.run()
+        assert engine.sanitizer.checks_run == 2
+        assert engine.sanitizer._last_event_time == 2.0
+
+
+class TestHandlerDispatch:
+    def test_register_replaces_handler(self):
+        engine = Engine()
+        first, second = [], []
+        engine.register(EventKind.CALLBACK, lambda ev: first.append(ev))
+        engine.register(EventKind.CALLBACK, lambda ev: second.append(ev))
+        engine.push(Event(time=1.0, kind=EventKind.CALLBACK))
+        engine.run()
+        assert not first and len(second) == 1
+
+    def test_every_kind_dispatchable(self):
+        engine, seen = collecting_engine()
+        for offset, kind in enumerate(EventKind):
+            engine.push(Event(time=float(offset), kind=kind))
+        engine.run()
+        assert [k for _, k in seen] == list(EventKind)
+
+
+class TestEventSlots:
+    def test_event_rejects_adhoc_attributes(self):
+        event = Event(time=1.0, kind=EventKind.CALLBACK)
+        with pytest.raises(AttributeError):
+            event.extra = 1  # type: ignore[attr-defined]
+
+
 class TestDeterminism:
     @given(
         st.lists(

@@ -97,6 +97,10 @@ def measure() -> dict:
         "min_warm_cache_speedup": MIN_WARM_CACHE_SPEEDUP,
         "min_jobs4_speedup": MIN_JOBS4_SPEEDUP,
         "jobs4_speedup_asserted": (os.cpu_count() or 1) >= 4,
+        # Why the jobs=4 assert was skipped, if it was; None on hosts
+        # with enough CPUs, so artifact consumers can tell "passed" from
+        # "not checked" without re-deriving the host policy.
+        "skipped_reason": None if (os.cpu_count() or 1) >= 4 else "cpu_count < jobs",
     }
 
 

@@ -113,6 +113,36 @@ def _cmd_run(args: argparse.Namespace) -> None:
         with open(args.json, "w") as handle:
             json.dump(campaign_to_dict(points), handle, indent=2)
         print(f"\nwrote {args.json}")
+    if args.profile:
+        from repro.experiments.runner import run_mix_once
+        from repro.obs.context import ObsConfig
+
+        for scheduler in schedulers:
+            result = run_mix_once(
+                ctx, MIXES[args.mix], args.config, scheduler, big_first=True,
+                obs=ObsConfig(metrics=True, profile=True),
+                sanitize=args.sanitize,
+            )
+            profile = result.metrics.get("profile", {})
+            buckets = sorted(
+                (
+                    (name, stats)
+                    for name, stats in profile.items()
+                    if name.startswith("engine.handle.")
+                ),
+                key=lambda item: item[1]["total_s"],
+                reverse=True,
+            )[: args.profile_top]
+            loop = profile.get("engine.run", {}).get("total_s", 0.0)
+            print(
+                f"\n{scheduler} host-time profile "
+                f"(event loop {loop * 1e3:.1f} ms):"
+            )
+            for name, stats in buckets:
+                print(
+                    f"  {name:<36} {stats['total_s'] * 1e3:8.2f} ms  "
+                    f"n={stats['count']:<6d} mean={stats['mean_us']:.1f} us"
+                )
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
@@ -166,6 +196,12 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         f"mean core utilization={gauges.get('core.mean_utilization', 0.0):.3f} "
         f"mean rq depth={gauges.get('rq.mean_depth', 0.0):.3f} "
         f"futex wait={gauges.get('futex.total_wait_ms', 0.0):.1f}ms"
+    )
+    print(
+        f"hot path: suppressed={counters.get('engine.events.suppressed', 0):.0f} "
+        f"stale discarded={counters.get('engine.events.discarded', 0):.0f} "
+        f"pred-cache hits={counters.get('model.pred_cache.hits', 0):.0f}"
+        f"/misses={counters.get('model.pred_cache.misses', 0):.0f}"
     )
 
 
@@ -287,6 +323,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under the scheduler sanitizer (schedsan); outcomes are "
         "bit-identical but invariant violations fail loudly",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run each scheduler once under the host-time profiler "
+        "and print the hottest engine.handle.* buckets",
+    )
+    run.add_argument(
+        "--profile-top",
+        type=int,
+        default=8,
+        metavar="N",
+        help="number of profiler buckets to print with --profile",
     )
     run.set_defaults(func=_cmd_run)
     trace = sub.add_parser(

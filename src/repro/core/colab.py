@@ -29,7 +29,11 @@ from repro.core.allocator import HierarchicalRRAllocator
 from repro.core.labeler import LabelerConfig, MultiFactorLabeler
 from repro.core.preemption import ScaleSlicePolicy
 from repro.core.selector import BiasedGlobalSelector
-from repro.model.speedup import OracleSpeedupModel, SpeedupEstimator
+from repro.model.speedup import (
+    OracleSpeedupModel,
+    PredictionCache,
+    SpeedupEstimator,
+)
 from repro.obs.tracer import EventKind
 from repro.schedulers.base import Scheduler
 
@@ -80,6 +84,10 @@ class COLABScheduler(Scheduler):
             enabled=scale_slice,
         )
         self.allocator: HierarchicalRRAllocator | None = None
+        #: Memo for prediction-derived charge scales, invalidated on every
+        #: labeling pass; only consulted when the machine's hot path is on.
+        self._pred_cache = PredictionCache()
+        self._pred_cache_on = False
 
     # ------------------------------------------------------------------
     def attach(self, machine: "Machine") -> None:
@@ -87,6 +95,7 @@ class COLABScheduler(Scheduler):
         self.allocator = HierarchicalRRAllocator(
             machine.big_cores, machine.little_cores
         )
+        self._pred_cache_on = bool(getattr(machine.config, "hotpath", False))
 
     def label_period(self) -> float | None:
         return self.label_period_ms
@@ -94,6 +103,9 @@ class COLABScheduler(Scheduler):
     def on_label_tick(self, now: float) -> None:
         machine = self._require_machine()
         self.labeler.label(machine.tasks, profiler=machine.obs.profiler)
+        # Labels (and thus predicted speedups) just changed: every memoized
+        # prediction-derived value is now stale.
+        self._pred_cache.bump()
 
     # ------------------------------------------------------------------
     # Core allocation: hierarchical round-robin by label
@@ -166,23 +178,48 @@ class COLABScheduler(Scheduler):
         return problems
 
     def publish_metrics(self, registry) -> None:
-        """Add COLAB's decision mix and labeling-pass count."""
+        """Add COLAB's decision mix, labeling-pass count, and memo stats."""
         super().publish_metrics(registry)
         for tier, count in self.selector.decisions.items():
             registry.gauge(f"colab.pick.{tier}").set(count)
         registry.gauge("colab.label_passes").set(self.labeler.passes)
+        registry.counter("model.pred_cache.hits").value = float(
+            self._pred_cache.hits
+        )
+        registry.counter("model.pred_cache.misses").value = float(
+            self._pred_cache.misses
+        )
 
     # ------------------------------------------------------------------
     # Scale-slice preemption and equal-progress accounting
     # ------------------------------------------------------------------
     def _charge_scale(self, task: "Task", core: "Core") -> float:
-        return self.policy.charge_scale(task, core)
+        if not self._pred_cache_on:
+            return self.policy.charge_scale(task, core)
+        cache = self._pred_cache
+        is_big = core.is_big
+        scale = cache.get(task.tid, is_big)
+        if scale is None:
+            scale = cache.put(
+                task.tid, is_big, self.policy.charge_scale(task, core)
+            )
+        return scale
 
     def charge(self, task: "Task", core: "Core", delta: float, now: float) -> None:
         task.vruntime += delta * self._charge_scale(task, core)
 
     def slice_for(self, task: "Task", core: "Core") -> float:
-        return self.policy.slice_for(task, core)
+        if not (self._pred_cache_on and self.policy.enabled and core.is_big):
+            return self.policy.slice_for(task, core)
+        # Mirrors ScaleSlicePolicy.slice_for with the prediction-derived
+        # divisor memoized: on big cores the divisor max(1, predicted)
+        # is exactly the charge scale, so the same cache entry serves both.
+        policy = self.policy
+        nr_running = len(core.rq) + 1
+        base = max(policy.min_granularity, policy.sched_latency / nr_running)
+        return max(
+            policy.min_granularity / 2, base / self._charge_scale(task, core)
+        )
 
     def check_preempt_wakeup(self, core: "Core", woken: "Task", now: float) -> bool:
         """CFS-style lag check on the speedup-scaled virtual clock.

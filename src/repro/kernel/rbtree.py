@@ -79,6 +79,16 @@ class RBTree:
             return None
         return (self._leftmost.key, self._leftmost.value)
 
+    def leftmost_value(self, default: Any = None) -> Any:
+        """Return the minimum entry's value without building a tuple.
+
+        The scheduler's pick path peeks the head of every runqueue it
+        considers; this is :meth:`leftmost` minus the per-call tuple
+        allocation.
+        """
+        node = self._leftmost
+        return default if node is self._nil else node.value
+
     def get(self, key: Key, default: Any = None) -> Any:
         node = self._find(key)
         return default if node is self._nil else node.value
@@ -101,8 +111,13 @@ class RBTree:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def insert(self, key: Key, value: Any) -> None:
-        """Insert ``key`` mapping to ``value``.
+    def insert(self, key: Key, value: Any) -> _Node:
+        """Insert ``key`` mapping to ``value``; return the new node.
+
+        The returned node is an opaque handle: callers may hold on to it
+        and later pass it to :meth:`remove_node` to delete in O(log n)
+        without re-running the O(log n) key search (the kernel keeps
+        ``rb_node`` embedded in the entity for exactly this reason).
 
         Raises:
             KeyError: if an entry with the exact same key already exists.
@@ -129,6 +144,7 @@ class RBTree:
         if self._leftmost is self._nil or key < self._leftmost.key:
             self._leftmost = node
         self._insert_fixup(node)
+        return node
 
     def remove(self, key: Key) -> Any:
         """Remove the entry with exact ``key`` and return its value.
@@ -139,6 +155,17 @@ class RBTree:
         node = self._find(key)
         if node is self._nil:
             raise KeyError(f"key {key!r} not in tree")
+        return self.remove_node(node)
+
+    def remove_node(self, node: _Node) -> Any:
+        """Remove ``node`` (a handle returned by :meth:`insert`).
+
+        Skips the key search entirely; the caller vouches that the node is
+        still linked into *this* tree.
+
+        Returns:
+            The removed entry's value.
+        """
         value = node.value
         if node is self._leftmost:
             self._leftmost = self._successor(node)
@@ -150,10 +177,15 @@ class RBTree:
 
     def pop_leftmost(self) -> tuple[Key, Any] | None:
         """Remove and return the minimum entry, or ``None`` if empty."""
-        entry = self.leftmost()
-        if entry is None:
+        node = self._leftmost
+        if node is self._nil:
             return None
-        self.remove(entry[0])
+        entry = (node.key, node.value)
+        self._leftmost = self._successor(node)
+        self._delete(node)
+        self._size -= 1
+        if self._size == 0:
+            self._leftmost = self._nil
         return entry
 
     def clear(self) -> None:

@@ -35,9 +35,10 @@ class RunQueue:
         self.core_id = core_id
         self._tree = RBTree()
         self._by_tid: dict[int, Task] = {}
-        #: Tree key each task was inserted under; dequeue must use this
-        #: even if the task's vruntime changed while queued.
-        self._keys: dict[int, tuple[float, int]] = {}
+        #: Tree node handle each task was inserted under; dequeue removes
+        #: through the handle (O(log n) with no key search), and it stays
+        #: valid even if the task's vruntime changed while queued.
+        self._nodes: dict[int, object] = {}
         #: Monotonic watermark of the smallest vruntime ever at the head of
         #: this queue; used by CFS to place newly woken tasks fairly.
         self.min_vruntime: float = 0.0
@@ -99,9 +100,8 @@ class RunQueue:
                 f"task {task.name} already on runqueue of core {task.rq_core_id}"
             )
         key = (task.vruntime, task.tid)
-        self._tree.insert(key, task)
+        self._nodes[task.tid] = self._tree.insert(key, task)
         self._by_tid[task.tid] = task
-        self._keys[task.tid] = key
         task.rq_core_id = self.core_id
         if self._depth_tracker is not None:
             self._depth_tracker.update(self._clock(), len(self._by_tid))
@@ -114,7 +114,7 @@ class RunQueue:
             raise KernelError(
                 f"task {task.name} not on runqueue of core {self.core_id}"
             )
-        self._tree.remove(self._keys.pop(task.tid))
+        self._tree.remove_node(self._nodes.pop(task.tid))
         del self._by_tid[task.tid]
         task.rq_core_id = None
         if self._depth_tracker is not None:
@@ -131,9 +131,11 @@ class RunQueue:
     # Selection primitives
     # ------------------------------------------------------------------
     def peek_min(self) -> Task | None:
-        """Leftmost (minimum-vruntime) task, or None if empty."""
-        entry = self._tree.leftmost()
-        return None if entry is None else entry[1]
+        """Leftmost (minimum-vruntime) task, or None if empty.
+
+        O(1): the tree caches its leftmost node, and no tuple is built.
+        """
+        return self._tree.leftmost_value()
 
     def pop_min(self) -> Task | None:
         """Remove and return the leftmost task (CFS pick-next).
@@ -141,11 +143,12 @@ class RunQueue:
         Advances ``min_vruntime`` to the popped task's virtual runtime
         (it becomes the running "curr"), mirroring ``update_min_vruntime``.
         """
-        task = self.peek_min()
+        task = self._tree.leftmost_value()
         if task is None:
             return None
         self.dequeue(task)
-        self.min_vruntime = max(self.min_vruntime, task.vruntime)
+        if task.vruntime > self.min_vruntime:
+            self.min_vruntime = task.vruntime
         if self._sanitizer is not None:
             self._sanitizer.on_min_vruntime(self)
         return task
@@ -196,16 +199,21 @@ class RunQueue:
         """Advance the watermark, considering the currently running task.
 
         Mirrors ``update_min_vruntime()`` in fair.c: the watermark follows
-        min(curr, leftmost) but never moves backwards.
+        min(curr, leftmost) but never moves backwards.  Runs on every
+        accounting step, so it is written allocation-free (no candidate
+        list); the branches compute exactly ``max(old, min(candidates))``.
         """
-        candidates = []
-        if running_vruntime is not None:
-            candidates.append(running_vruntime)
-        head = self.peek_min()
+        head = self._tree.leftmost_value()
         if head is not None:
-            candidates.append(head.vruntime)
-        if candidates:
-            self.min_vruntime = max(self.min_vruntime, min(candidates))
+            head_vruntime = head.vruntime
+            if running_vruntime is None or head_vruntime < running_vruntime:
+                floor = head_vruntime
+            else:
+                floor = running_vruntime
+        else:
+            floor = running_vruntime
+        if floor is not None and floor > self.min_vruntime:
+            self.min_vruntime = floor
         if self._sanitizer is not None:
             self._sanitizer.on_min_vruntime(self)
 
@@ -216,11 +224,11 @@ class RunQueue:
         """Describe every broken queue invariant (empty list = healthy).
 
         Read-only: validates the red-black tree plus the lockstep between
-        the tree, the tid index, the key map, and the queued tasks' own
-        bookkeeping.  Queued tasks must be READY and claim this core.
+        the tree, the tid index, the node-handle map, and the queued tasks'
+        own bookkeeping.  Queued tasks must be READY and claim this core.
         (A queued task's *vruntime* may legitimately drift from its tree
-        key -- dequeue uses the recorded key -- so key staleness is not a
-        violation.)
+        key -- dequeue removes through the recorded node handle -- so key
+        staleness is not a violation.)
         """
         problems = self._tree.invariant_violations()
         if len(self._by_tid) != len(self._tree):
@@ -228,8 +236,8 @@ class RunQueue:
                 f"tid index holds {len(self._by_tid)} tasks but tree holds "
                 f"{len(self._tree)}"
             )
-        if set(self._keys) != set(self._by_tid):
-            problems.append("key map and tid index disagree on queued tids")
+        if set(self._nodes) != set(self._by_tid):
+            problems.append("node map and tid index disagree on queued tids")
         for task in self._tree.values():
             if self._by_tid.get(task.tid) is not task:
                 problems.append(

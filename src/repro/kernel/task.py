@@ -122,6 +122,7 @@ class Task:
         "spawn_time",
         "finish_time",
         "counters",
+        "_profile_speedup",
     )
 
     def __init__(
@@ -203,6 +204,13 @@ class Task:
         # Filled in by the machine at registration time.
         self.counters: "PerformanceCounters | None" = None
 
+        #: ``profile.speedup()`` memo, primed by the machine at task
+        #: registration when the hot path is enabled.  The profile is
+        #: frozen, so its speedup is a constant the hot path should not
+        #: keep paying ``np.clip`` for; the reference path leaves this
+        #: unset and recomputes per call (see :meth:`true_speedup`).
+        self._profile_speedup: float | None = None
+
     # ------------------------------------------------------------------
     # State machine
     # ------------------------------------------------------------------
@@ -275,7 +283,20 @@ class Task:
         """
         if self.current_segment is not None and self.current_segment.speedup is not None:
             return self.current_segment.speedup
+        cached = self._profile_speedup
+        if cached is not None:
+            return cached
         return self.profile.speedup()
+
+    def prime_speedup_cache(self) -> None:
+        """Memoize ``profile.speedup()`` for :meth:`true_speedup`.
+
+        Called by the machine at registration time on the hot path only;
+        the memoized value is by construction identical to what the
+        reference path recomputes on every call.
+        """
+        if self._profile_speedup is None:
+            self._profile_speedup = self.profile.speedup()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

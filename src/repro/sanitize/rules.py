@@ -305,7 +305,7 @@ _KERN_SCOPE = tuple(
     part for part in DECISION_SCOPE
 )
 _KERN_EXCLUDED_FILES = ("kernel/runqueue.py", "kernel/rbtree.py")
-_RQ_PRIVATE_ATTRS = {"_tree", "_by_tid", "_keys"}
+_RQ_PRIVATE_ATTRS = {"_tree", "_by_tid", "_keys", "_nodes"}
 
 
 @rule(
@@ -352,6 +352,55 @@ def kern001(module: ParsedModule) -> Iterator[Violation]:
                         "direct write to min_vruntime outside RunQueue; "
                         "use update_min_vruntime()",
                     )
+
+
+# ----------------------------------------------------------------------
+# PERF001 -- no per-event allocations in hot-loop functions
+# ----------------------------------------------------------------------
+
+#: Functions that run once per simulator event (or per dispatch): the
+#: single-run hot loop.  ``step`` is Engine.step; the underscored names
+#: are Machine internals.
+_PERF_HOT_FUNCTIONS = {"_dispatch", "_account", "_advance", "step"}
+
+
+@rule(
+    "PERF001",
+    "no comprehensions or sorted() in per-event hot functions",
+    "Machine._dispatch/_account/_advance and Engine.step execute once per "
+    "simulator event; a list/dict/set comprehension, generator "
+    "expression, or sorted() call there allocates (or sorts) on every "
+    "event and regresses single-run speed for all sweeps at once.  Hoist "
+    "the work out of the loop or keep an incrementally maintained "
+    "structure.",
+    SIM_KERNEL_SCOPE,
+)
+def perf001(module: ParsedModule) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in _PERF_HOT_FUNCTIONS:
+            continue
+        for inner in ast.walk(node):
+            if isinstance(
+                inner,
+                (ast.ListComp, ast.DictComp, ast.SetComp, ast.GeneratorExp),
+            ):
+                yield module.violation(
+                    inner, "PERF001",
+                    f"comprehension inside hot function {node.name}() "
+                    "allocates per event; hoist it out of the event loop",
+                )
+            elif (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id == "sorted"
+            ):
+                yield module.violation(
+                    inner, "PERF001",
+                    f"sorted() inside hot function {node.name}() re-sorts "
+                    "per event; maintain an ordered structure instead",
+                )
 
 
 # ----------------------------------------------------------------------

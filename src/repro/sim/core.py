@@ -86,6 +86,13 @@ class Core:
     sched_version: int = 0
     #: DVFS frequency scale in (0, 1]; 1.0 = nominal frequency.
     freq_scale: float = 1.0
+    #: Absolute time at which the live slice-expiry timer for the current
+    #: dispatch will fire; lets the machine prove a segment-done event
+    #: scheduled after it can never be observed (stale-event suppression).
+    slice_deadline: float = 0.0
+    #: Scratch pool of recycled timer events (hot path only; stays empty
+    #: on the reference path so event identity is unchanged there).
+    event_pool: list = field(default_factory=list)
 
     # --- statistics -------------------------------------------------------
     busy_time: float = 0.0

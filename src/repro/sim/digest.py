@@ -1,0 +1,71 @@
+"""Behavioural digest of a :class:`~repro.sim.machine.RunResult`.
+
+:func:`run_digest` hashes every *behavioural* field of a run -- schedule
+outcomes, per-task accounting, per-core residency, and the dispatch trace
+-- into one hex string.  Two runs are scheduling-equivalent iff their
+digests match; the hot-path benchmark and the fuzz suite use this to
+assert that the optimised simulator path is bit-identical to the
+reference path.
+
+Floats are hashed through ``repr`` (the shortest round-tripping form), so
+any bit-level drift in a single accounting value changes the digest.
+
+Deliberately excluded: ``metrics`` (the hot path adds suppressed/discarded
+counters by design), ``events``/``trace_metadata`` (observability volume
+depends on tracer configuration, and the behavioural content of DISPATCH
+events is already covered by the legacy ``trace`` tuples).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.machine import RunResult
+
+
+def run_digest(result: "RunResult") -> str:
+    """SHA-256 over the behavioural fields of ``result``."""
+    hasher = hashlib.sha256()
+
+    def put(*parts: object) -> None:
+        for part in parts:
+            hasher.update(repr(part).encode())
+            hasher.update(b"\x1f")
+
+    put("topology", result.topology_name)
+    put("scheduler", result.scheduler_name)
+    put("makespan", result.makespan)
+    for app_id in sorted(result.app_turnaround):
+        put(
+            "app",
+            app_id,
+            result.app_names.get(app_id, ""),
+            result.app_turnaround[app_id],
+        )
+    for t in result.tasks:
+        put(
+            "task",
+            t.tid,
+            t.name,
+            t.app_id,
+            t.finish_time,
+            t.cpu_time_big,
+            t.cpu_time_little,
+            t.work_done,
+            t.own_wait_time,
+            t.caused_wait_time,
+            t.migrations,
+        )
+    put("context_switches", result.total_context_switches)
+    put("migrations", result.total_migrations)
+    for core_id in sorted(result.core_busy_time):
+        put("busy", core_id, result.core_busy_time[core_id])
+    for core_id in sorted(result.core_busy_by_scale):
+        residency = result.core_busy_by_scale[core_id]
+        for scale in sorted(residency):
+            put("busy_scale", core_id, scale, residency[scale])
+    for time, core_id, tid in result.trace:
+        put("dispatch", time, core_id, tid)
+    return hasher.hexdigest()

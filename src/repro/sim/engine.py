@@ -47,8 +47,16 @@ class Engine:
         [1.0, 2.0]
     """
 
-    def __init__(self, max_events: int = 50_000_000) -> None:
-        self._heap: list[Event] = []
+    def __init__(self, max_events: int = 50_000_000, hotpath: bool = True) -> None:
+        #: Hot-path heap layout: entries are (time, kind, seq, event)
+        #: tuples whose ordering fields are compared natively in C instead
+        #: of through Event.__lt__, and whose unique seq guarantees the
+        #: Event itself is never compared.  The order is exactly
+        #: Event.sort_key(), so both layouts process events identically;
+        #: ``hotpath=False`` selects the reference layout (Event objects
+        #: compared via sort_key) for A/B parity measurement.
+        self._hot = hotpath
+        self._heap: list = []
         # Indexed by EventKind value: list indexing beats dict hashing on
         # the hottest line of the simulator (every event dispatches here).
         self._handlers: list[Handler | None] = [None] * len(EventKind)
@@ -67,6 +75,18 @@ class Engine:
         #: when set, every popped event is checked for time travel before
         #: its handler runs.
         self.sanitizer = None
+        #: Optional fast-discard predicate installed by the machine: a
+        #: popped event for which it returns True is dropped before the
+        #: sanitizer, clock, or handler see it.  Must only be used for
+        #: events whose handler is provably a no-op (e.g. version-stale
+        #: timers), so outcomes stay bit-identical.
+        self.discard = None
+        #: Events dropped by the fast-discard predicate.
+        self.discarded = 0
+        #: Optional per-event recycling callback invoked by :meth:`run`
+        #: after each processed or discarded event (the machine returns
+        #: scratch timer events to a pool here).
+        self.recycle = None
 
     # ------------------------------------------------------------------
     # Registration and queueing
@@ -93,9 +113,13 @@ class Engine:
                 f"event {event.kind.name} scheduled at t={event.time} "
                 f"before current time t={self.now}"
             )
-        event.seq = self._seq
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        if self._hot:
+            heapq.heappush(self._heap, (event.time, event.kind, seq, event))
+        else:
+            heapq.heappush(self._heap, event)
         return event
 
     def push_at(self, time: float, kind: EventKind, **fields: object) -> Event:
@@ -126,16 +150,29 @@ class Engine:
         (:class:`~repro.errors.SimulationError`), and the sanitizer's
         monotonicity state must not be advanced by an event the engine
         refuses to process.
+
+        A machine-installed :attr:`discard` predicate is consulted next:
+        discarded events are dropped without advancing the clock, the
+        processed counter, or the sanitizer's monotonicity state -- their
+        handler would have been a no-op, so every observable outcome is
+        unchanged.
         """
         heap = self._heap
         if not heap:
             return None
-        event = heappop(heap)
-        event_time = event.time
+        if self._hot:
+            event_time, _kind, _seq, event = heappop(heap)
+        else:
+            event = heappop(heap)
+            event_time = event.time
         if event_time < self.now:
             raise SimulationError(
                 f"heap produced past event at t={event_time} < now={self.now}"
             )
+        discard = self.discard
+        if discard is not None and discard(event):
+            self.discarded += 1
+            return event
         if self.sanitizer is not None:
             self.sanitizer.on_event(event, self.now)
         self.now = event_time
@@ -170,9 +207,25 @@ class Engine:
         started = (
             profiler.start() if profiler is not None and profiler.enabled else None
         )
-        while self._heap and not self._stopped:
-            if until is not None and self._heap[0].time > until:
-                break
-            self.step()
+        heap = self._heap
+        step = self.step
+        recycle = self.recycle
+        hot = self._hot
+        if recycle is None:
+            while heap and not self._stopped:
+                if until is not None:
+                    frontier = heap[0][0] if hot else heap[0].time
+                    if frontier > until:
+                        break
+                step()
+        else:
+            while heap and not self._stopped:
+                if until is not None:
+                    frontier = heap[0][0] if hot else heap[0].time
+                    if frontier > until:
+                        break
+                event = step()
+                if event is not None:
+                    recycle(event)
         if started is not None:
             profiler.stop("engine.run", started)

@@ -70,4 +70,7 @@ class Event:
         return (self.time, int(self.kind), self.seq)
 
     def __lt__(self, other: "Event") -> bool:
+        # Only exercised by the reference (hotpath=False) engine heap,
+        # which stores Event objects directly; the hot path compares
+        # (time, kind, seq) tuples natively and never calls this.
         return self.sort_key() < other.sort_key()

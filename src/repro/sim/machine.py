@@ -102,6 +102,12 @@ class MachineConfig:
     #: Optional per-cluster frequency scaling policy
     #: (:class:`repro.sim.dvfs.DVFSPolicy`).
     dvfs: object | None = None
+    #: Enable the single-run hot path: stale-event suppression at push
+    #: time, fast discard of version-stale timers at pop time, a per-core
+    #: scratch event pool, and memoized speedup predictions.  Outcomes are
+    #: bit-identical with this on or off (the parity benchmark asserts
+    #: it); ``False`` selects the reference path for A/B comparison.
+    hotpath: bool = True
 
 
 @dataclass(slots=True)
@@ -184,7 +190,7 @@ class Machine:
         self._tracer = self.obs.tracer
         self._profiler = self.obs.profiler
         self._metrics_on = self.obs.metrics.enabled
-        self.engine = Engine()
+        self.engine = Engine(hotpath=self.config.hotpath)
         if self._profiler.enabled:
             self.engine.profiler = self._profiler
         self._sanitizer = None
@@ -228,6 +234,19 @@ class Machine:
         self._dispatch_pending: set[int] = set()
         self._ran = False
 
+        #: Hot-path switches (see :attr:`MachineConfig.hotpath`).  The
+        #: discard/recycle hooks are only installed on the hot path, so
+        #: the reference path never drops an event early and its per-core
+        #: event pools stay empty (every timer is a fresh allocation,
+        #: exactly as before this optimisation existed).
+        self._hotpath = self.config.hotpath
+        #: SEGMENT_DONE pushes skipped because a live slice expiry proves
+        #: they could never fire valid.
+        self._suppressed = 0
+        if self._hotpath:
+            self.engine.discard = self._fast_discard
+            self.engine.recycle = self._recycle_event
+
         self.engine.register(EventKind.SEGMENT_DONE, self._on_segment_done)
         self.engine.register(EventKind.SLICE_EXPIRY, self._on_slice_expiry)
         self.engine.register(EventKind.WAKEUP, self._on_timed_wakeup)
@@ -263,7 +282,10 @@ class Machine:
             task.counters = PerformanceCounters(
                 profile=task.profile,
                 rng=np.random.default_rng(self.rng.integers(0, 2**63)),
+                hotpath=self._hotpath,
             )
+        if self._hotpath:
+            task.prime_speedup_cache()
         self.tasks.append(task)
         if app_name is not None:
             self.app_names.setdefault(task.app_id, app_name)
@@ -416,15 +438,16 @@ class Machine:
         if task is not None:
             core.bump_version()
             if task.current_segment is not None:
-                self._schedule_segment_done(core, task, now)
+                # Same shape as _start: fix the new slice deadline first,
+                # keep the segment-done-then-expiry push order.
                 slice_len = self.scheduler.slice_for(task, core)
-                self.engine.push(
-                    Event(
-                        time=now + task.pending_penalty + slice_len,
-                        kind=EventKind.SLICE_EXPIRY,
-                        core_id=core.core_id,
-                        version=core.sched_version,
-                    )
+                core.slice_deadline = now + task.pending_penalty + slice_len
+                self._schedule_segment_done(core, task, now)
+                self._push_timer(
+                    core.slice_deadline,
+                    EventKind.SLICE_EXPIRY,
+                    core,
+                    core.sched_version,
                 )
 
     def _on_label(self, event: Event) -> None:
@@ -529,35 +552,84 @@ class Machine:
             outcome = self._advance(task, core, now)
             if outcome != "compute":
                 return
-        self._schedule_segment_done(core, task, now)
+        # Both timers derive from the same (now, pending_penalty) state, so
+        # the slice deadline can be fixed before the segment-done push; the
+        # push order (segment-done, then expiry) matches the reference path
+        # so sequence numbers line up event-for-event when nothing is
+        # suppressed.
         slice_len = self.scheduler.slice_for(task, core)
         if slice_len <= 0:
             raise SchedulerError(
                 f"{self.scheduler.name} returned slice {slice_len} <= 0"
             )
-        self.engine.push(
-            Event(
-                time=now + task.pending_penalty + slice_len,
-                kind=EventKind.SLICE_EXPIRY,
-                core_id=core.core_id,
-                version=core.sched_version,
-            )
+        core.slice_deadline = now + task.pending_penalty + slice_len
+        self._schedule_segment_done(core, task, now)
+        self._push_timer(
+            core.slice_deadline, EventKind.SLICE_EXPIRY, core, core.sched_version
         )
 
     def _schedule_segment_done(self, core: Core, task: Task, now: float) -> None:
+        """Schedule the running segment's completion timer.
+
+        Stale-event suppression (hot path only): ``core.slice_deadline``
+        holds the firing time of the live slice-expiry timer for the same
+        scheduling version.  A completion strictly after that deadline can
+        never fire valid -- either the expiry fires first and bumps the
+        version, or something else already bumped it (which stales both
+        timers) -- so the push is skipped entirely.  A completion *at* the
+        deadline still fires first (SEGMENT_DONE outranks SLICE_EXPIRY at
+        equal timestamps) and must be pushed.
+        """
         segment = task.current_segment
         if segment is None:
             raise SimulationError(f"no segment to schedule for {task.name}")
         rate = core.rate_for(task)
         finish = now + task.pending_penalty + segment.remaining / rate
-        self.engine.push(
-            Event(
-                time=finish,
-                kind=EventKind.SEGMENT_DONE,
-                core_id=core.core_id,
-                version=core.sched_version,
+        if self._hotpath and finish > core.slice_deadline:
+            self._suppressed += 1
+            return
+        self._push_timer(finish, EventKind.SEGMENT_DONE, core, core.sched_version)
+
+    def _push_timer(
+        self, time: float, kind: EventKind, core: Core, version: int
+    ) -> None:
+        """Push a core-directed timer, reusing a pooled event if possible.
+
+        The pool only ever holds events on the hot path (the recycle hook
+        that feeds it is not installed otherwise), so the reference path
+        allocates every timer fresh, exactly as it always did.
+        """
+        pool = core.event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.kind = kind
+            event.version = version
+            self.engine.push(event)
+        else:
+            self.engine.push(
+                Event(
+                    time=time, kind=kind, core_id=core.core_id, version=version
+                )
             )
-        )
+
+    def _fast_discard(self, event: Event) -> bool:
+        """Engine pop-time predicate: is this timer provably a no-op?
+
+        Only version-guarded timers (SEGMENT_DONE / SLICE_EXPIRY carry
+        ``version >= 0``) qualify; their handlers return immediately when
+        the version no longer matches, so dropping them before the clock,
+        sanitizer, or handler sees them changes no observable outcome.
+        """
+        version = event.version
+        return version >= 0 and version != self.cores[event.core_id].sched_version
+
+    def _recycle_event(self, event: Event) -> None:
+        """Engine post-step callback: pool dead timer events for reuse."""
+        if event.version >= 0:
+            pool = self.cores[event.core_id].event_pool
+            if len(pool) < 8:
+                pool.append(event)
 
     def _account(self, core: Core, now: float) -> None:
         """Charge execution since ``core.run_started`` to the running task.
@@ -822,7 +894,10 @@ class Machine:
                 spawned.counters = PerformanceCounters(
                     profile=spawned.profile,
                     rng=np.random.default_rng(self.rng.integers(0, 2**63)),
+                    hotpath=self._hotpath,
                 )
+            if self._hotpath:
+                spawned.prime_speedup_cache()
             spawned.spawn_time = now
             self.tasks.append(spawned)
             self.app_names.setdefault(spawned.app_id, task.name)
@@ -954,6 +1029,15 @@ class Machine:
             registry.gauge("rq.mean_depth").set(
                 sum(depth_means) / len(depth_means)
             )
+        registry.counter("engine.events.suppressed").value = float(
+            self._suppressed
+        )
+        registry.counter("engine.events.discarded").value = float(
+            self.engine.discarded
+        )
+        registry.counter("engine.events.processed").value = float(
+            self.engine.processed
+        )
         self.scheduler.publish_metrics(registry)
         snapshot = registry.snapshot()
         if self._profiler.enabled:

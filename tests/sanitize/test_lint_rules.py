@@ -300,3 +300,58 @@ class TestERR001:
             rel="repro/experiments/mod.py",
         )
         assert codes == []
+
+
+class TestPERF001:
+    def test_comprehension_in_dispatch_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def _dispatch(self, core):\n"
+            "    ready = [t for t in core.rq if t.is_ready]\n"
+            "    return ready\n",
+        )
+        assert codes == ["PERF001"]
+
+    def test_sorted_in_account_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def _account(self, core, now):\n"
+            "    order = sorted(core.rq)\n"
+            "    return order\n",
+        )
+        assert codes == ["PERF001"]
+
+    def test_generator_expression_in_step_flagged(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def step(self):\n"
+            "    return sum(e.time for e in self._heap)\n",
+        )
+        assert codes == ["PERF001"]
+
+    def test_cold_function_allowed(self, tmp_path):
+        # Same constructs outside the per-event hot set are fine.
+        codes = lint_source(
+            tmp_path,
+            "def snapshot(self):\n"
+            "    return sorted(t.tid for t in self.tasks)\n",
+        )
+        assert codes == []
+
+    def test_outside_sim_kernel_allowed(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def step(self):\n"
+            "    return [x for x in self.rows]\n",
+            rel="repro/experiments/mod.py",
+        )
+        assert codes == []
+
+    def test_suppression_comment_honoured(self, tmp_path):
+        codes = lint_source(
+            tmp_path,
+            "def _advance(self, task):\n"
+            "    # sanitize: ignore[PERF001]\n"
+            "    return sorted(task.chunks)\n",
+        )
+        assert codes == []

@@ -164,7 +164,7 @@ class TestSanitizerOrdering:
         assert engine.now == 5.0
         # Bypass push() to plant a past event, as a heap corruption would.
         stale = Event(time=1.0, kind=EventKind.CALLBACK, seq=99)
-        heapq.heappush(engine._heap, stale)
+        heapq.heappush(engine._heap, (stale.time, stale.kind, stale.seq, stale))
         with pytest.raises(SimulationError, match="past event"):
             engine.step()
 
@@ -177,7 +177,8 @@ class TestSanitizerOrdering:
         checks_before = engine.sanitizer.checks_run
         last_before = engine.sanitizer._last_event_time
         heapq.heappush(
-            engine._heap, Event(time=1.0, kind=EventKind.CALLBACK, seq=99)
+            engine._heap,
+            (1.0, EventKind.CALLBACK, 99, Event(time=1.0, kind=EventKind.CALLBACK, seq=99)),
         )
         with pytest.raises(SimulationError):
             engine.step()

@@ -254,6 +254,72 @@ def test_rbtree_against_sorted_list_oracle(ops):
     assert drained == sorted((v, t) for t, v in oracle.items())
 
 
+@given(ops=rbtree_ops())
+@settings(max_examples=150, deadline=None)
+def test_rbtree_node_handles_against_sorted_list_oracle(ops):
+    """The O(1)-removal handle API agrees with the sorted-list oracle.
+
+    This is the runqueue's actual access pattern: ``insert`` returns a
+    node handle (the ``rb_node`` analogue), deletions go through
+    ``remove_node`` without a key lookup, and the scheduler's pick reads
+    ``leftmost_value``.  The oracle is the same sorted list as above.
+    """
+    tree = RBTree()
+    oracle: dict[int, float] = {}
+    nodes: dict[int, object] = {}  # tid -> live node handle
+
+    for kind, vruntime, tid in ops:
+        if kind == "insert" and tid not in oracle:
+            nodes[tid] = tree.insert((vruntime, tid), f"task{tid}")
+            oracle[tid] = vruntime
+        elif kind == "delete" and tid in oracle:
+            oracle.pop(tid)
+            tree.remove_node(nodes.pop(tid))
+        elif kind == "reweight" and tid in oracle:
+            tree.remove_node(nodes.pop(tid))
+            nodes[tid] = tree.insert((vruntime, tid), f"task{tid}")
+            oracle[tid] = vruntime
+
+        assert tree.invariant_violations() == []
+        expected = sorted((v, t) for t, v in oracle.items())
+        assert list(tree.keys()) == expected
+        assert len(tree) == len(expected)
+        assert tree.leftmost_value() == (
+            f"task{expected[0][1]}" if expected else None
+        )
+
+
+@given(
+    spec=workload_spec(),
+    scheduler_name=st.sampled_from(SCHEDULER_NAMES),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_hotpath_matches_reference_digest(spec, scheduler_name, seed):
+    """Hot path and reference path produce bit-identical runs.
+
+    The suppression/discard/pool/memoization machinery is only allowed
+    to change wall-clock cost, never outcomes: for any random workload,
+    scheduler and seed, ``MachineConfig(hotpath=True)`` must yield the
+    same :func:`run_digest` as ``hotpath=False``.  The global tid
+    counter is reset per build because task ids are digest fields.
+    """
+    from repro.kernel.task import reset_tid_counter
+    from repro.sim.digest import run_digest
+
+    def digest(hotpath: bool) -> str:
+        reset_tid_counter()
+        machine = Machine(
+            make_topology(2, 1),
+            make_scheduler(scheduler_name),
+            MachineConfig(seed=seed, hotpath=hotpath),
+        )
+        build_workload(machine, spec)
+        return run_digest(machine.run())
+
+    assert digest(True) == digest(False)
+
+
 @given(
     scheduler_name=st.sampled_from(SCHEDULER_NAMES),
     seed=st.integers(0, 2**16),

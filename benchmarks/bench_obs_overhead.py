@@ -26,7 +26,7 @@ import pathlib
 import statistics
 import time
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_artifact, bench_assert, emit
 from repro.obs.context import ObsConfig
 from repro.obs.tracer import Tracer
 from repro.sim.machine import Machine, MachineConfig
@@ -106,9 +106,42 @@ def measure(ctx) -> dict:
     }
 
 
+def to_artifact(report: dict) -> dict:
+    """Map the raw measurement onto the unified BENCH schema."""
+    return bench_artifact(
+        name="obs_overhead",
+        params={
+            "mix": report["mix"],
+            "config": report["config"],
+            "scheduler": report["scheduler"],
+            "rounds": report["rounds"],
+        },
+        timings={
+            "disabled_run_s": report["disabled_run_s"],
+            "enabled_run_s": report["enabled_run_s"],
+            "guard_cost_s": report["guard_cost_s"],
+        },
+        asserts={
+            "disabled_overhead_fraction": bench_assert(
+                report["disabled_overhead_fraction"],
+                report["max_disabled_overhead"],
+                "<",
+            ),
+        },
+        derived={
+            "events_when_enabled": report["events_when_enabled"],
+            "guard_checks_timed": report["guard_checks_timed"],
+            "enabled_over_disabled": report["enabled_over_disabled"],
+            "disabled_overhead_fraction": report["disabled_overhead_fraction"],
+        },
+    )
+
+
 def test_obs_disabled_overhead(benchmark, ctx):
     report = benchmark.pedantic(lambda: measure(ctx), rounds=1, iterations=1)
-    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    ARTIFACT.write_text(
+        json.dumps(to_artifact(report), indent=2, sort_keys=True) + "\n"
+    )
     emit(
         benchmark,
         "Observability overhead "

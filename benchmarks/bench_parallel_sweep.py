@@ -30,7 +30,7 @@ import pathlib
 import tempfile
 import time
 
-from benchmarks.conftest import BENCH_SEED, emit
+from benchmarks.conftest import BENCH_SEED, bench_artifact, bench_assert, emit
 from repro.experiments.runner import ExperimentContext, sweep
 from repro.model.speedup import OracleSpeedupModel
 
@@ -104,9 +104,52 @@ def measure() -> dict:
     }
 
 
+def to_artifact(report: dict) -> dict:
+    """Map the raw measurement onto the unified BENCH schema."""
+    return bench_artifact(
+        name="parallel_sweep",
+        params={
+            "points": report["points"],
+            "work_scale": report["work_scale"],
+            "cpu_count": report["cpu_count"],
+        },
+        timings={
+            "serial_s": report["serial_s"],
+            "jobs2_s": report["jobs2_s"],
+            "jobs4_s": report["jobs4_s"],
+            "cold_cache_s": report["cold_cache_s"],
+            "warm_cache_s": report["warm_cache_s"],
+        },
+        asserts={
+            "warm_cache_speedup": bench_assert(
+                report["warm_cache_speedup"],
+                report["min_warm_cache_speedup"],
+                ">=",
+            ),
+            "warm_cache_hits": bench_assert(
+                report["warm_cache_hits"], report["points"], "=="
+            ),
+            "jobs4_speedup": bench_assert(
+                report["jobs4_speedup"],
+                report["min_jobs4_speedup"],
+                ">=",
+                skipped_reason=report["skipped_reason"],
+            ),
+        },
+        derived={
+            "jobs2_speedup": report["jobs2_speedup"],
+            "jobs4_speedup": report["jobs4_speedup"],
+            "warm_cache_speedup": report["warm_cache_speedup"],
+            "warm_cache_hits": report["warm_cache_hits"],
+        },
+    )
+
+
 def test_parallel_sweep_and_cache_speedup(benchmark):
     report = benchmark.pedantic(measure, rounds=1, iterations=1)
-    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    ARTIFACT.write_text(
+        json.dumps(to_artifact(report), indent=2, sort_keys=True) + "\n"
+    )
     emit(
         benchmark,
         f"Parallel sweep + persistent cache ({report['points']} points, "

@@ -34,7 +34,7 @@ import os
 import pathlib
 import time
 
-from benchmarks.conftest import BENCH_SEED, emit
+from benchmarks.conftest import BENCH_SEED, bench_artifact, bench_assert, emit
 from repro.experiments.runner import standard_topologies
 from repro.kernel.task import reset_tid_counter
 from repro.model.speedup import OracleSpeedupModel
@@ -148,9 +148,56 @@ def measure() -> dict:
     }
 
 
+def to_artifact(report: dict) -> dict:
+    """Map the raw measurement onto the unified BENCH schema."""
+    asserts = {
+        "hotpath_speedup": bench_assert(
+            report["hotpath_speedup"],
+            report["min_hotpath_speedup"],
+            ">=",
+            skipped_reason=(
+                None
+                if report["speedup_asserted"]
+                else "REPRO_BENCH_HOTPATH_ASSERT_SPEEDUP=0"
+            ),
+        ),
+        "events_suppressed": bench_assert(
+            report["events_suppressed"], 0, ">"
+        ),
+        "events_discarded": bench_assert(report["events_discarded"], 0, ">"),
+    }
+    for scheduler, checks in report["parity"].items():
+        for variant, ok in checks.items():
+            asserts[f"parity_{scheduler}_{variant}"] = bench_assert(
+                ok, True, "=="
+            )
+    return bench_artifact(
+        name="run_hotpath",
+        params={
+            "topology": report["topology"],
+            "mix": report["mix"],
+            "timed_scheduler": report["timed_scheduler"],
+            "work_scale": report["work_scale"],
+            "rounds": report["rounds"],
+        },
+        timings={
+            "reference_s": report["reference_s"],
+            "hotpath_s": report["hotpath_s"],
+        },
+        asserts=asserts,
+        derived={
+            "hotpath_speedup": report["hotpath_speedup"],
+            "events_suppressed": report["events_suppressed"],
+            "events_discarded": report["events_discarded"],
+        },
+    )
+
+
 def test_run_hotpath_speedup_and_parity(benchmark):
     report = benchmark.pedantic(measure, rounds=1, iterations=1)
-    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    ARTIFACT.write_text(
+        json.dumps(to_artifact(report), indent=2, sort_keys=True) + "\n"
+    )
     parity_lines = "\n".join(
         f"  parity {name:6s}: "
         + " ".join(

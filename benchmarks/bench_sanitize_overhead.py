@@ -29,7 +29,7 @@ import pathlib
 import statistics
 import time
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_artifact, bench_assert, emit
 from repro.kernel.task import reset_tid_counter
 from repro.sim.machine import Machine, MachineConfig
 from repro.workloads.mixes import MIXES
@@ -118,9 +118,45 @@ def measure(ctx) -> dict:
     }
 
 
+def to_artifact(report: dict) -> dict:
+    """Map the raw measurement onto the unified BENCH schema."""
+    return bench_artifact(
+        name="sanitize_overhead",
+        params={
+            "mix": report["mix"],
+            "config": report["config"],
+            "scheduler": report["scheduler"],
+            "rounds": report["rounds"],
+        },
+        timings={
+            "sanitize_off_run_s": report["sanitize_off_run_s"],
+            "sanitize_on_run_s": report["sanitize_on_run_s"],
+            "guard_cost_s": report["guard_cost_s"],
+        },
+        asserts={
+            "disabled_overhead_fraction": bench_assert(
+                report["disabled_overhead_fraction"],
+                report["max_disabled_overhead"],
+                "<",
+            ),
+            "outcome_bit_identical": bench_assert(
+                report["outcome_bit_identical"], True, "=="
+            ),
+        },
+        derived={
+            "checks_when_enabled": report["checks_when_enabled"],
+            "guard_checks_timed": report["guard_checks_timed"],
+            "on_over_off": report["on_over_off"],
+            "disabled_overhead_fraction": report["disabled_overhead_fraction"],
+        },
+    )
+
+
 def test_sanitize_disabled_overhead(benchmark, ctx):
     report = benchmark.pedantic(lambda: measure(ctx), rounds=1, iterations=1)
-    ARTIFACT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    ARTIFACT.write_text(
+        json.dumps(to_artifact(report), indent=2, sort_keys=True) + "\n"
+    )
     emit(
         benchmark,
         "schedsan overhead "

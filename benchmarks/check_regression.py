@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Compare fresh BENCH_*.json artifacts against the committed baselines.
+
+The four bench harnesses each write one unified artifact (see
+``benchmarks/conftest.py:bench_artifact``)::
+
+    {"schema_version": 1, "name": ..., "host": {...},
+     "params": {...}, "timings": {...}, "asserts": {...}, "derived": {...}}
+
+This checker compares a freshly produced set against a baseline set:
+
+* every ``timings`` entry (seconds, lower is better) present in both
+  sides must satisfy ``fresh <= baseline * (1 + tolerance)``;
+* every fresh ``asserts`` entry must not have ``ok: false`` (skipped
+  checks -- ``ok: null`` with a ``skipped_reason`` -- are reported, not
+  failed);
+* schema-version mismatches and baselines missing a fresh counterpart
+  are reported as informational (the trajectory record is append-only;
+  a renamed timing key starts a new series rather than failing).
+
+Exit status is nonzero on any regression or failed assert, unless
+``--report-only`` is given (CI uses report-only while the trajectory
+record accumulates; local runs gate by default).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline-dir . --fresh-dir /tmp/fresh [--tolerance 0.5] \
+        [--report-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Wall-clock benches on shared machines are noisy; the default band is
+#: deliberately generous -- this gate exists to catch order-of-magnitude
+#: slips, not single-digit percent drift.
+DEFAULT_TOLERANCE = 0.5
+
+BENCH_GLOB = "BENCH_*.json"
+
+
+def load_artifacts(directory: pathlib.Path) -> dict[str, dict]:
+    """filename -> parsed artifact for every BENCH_*.json in ``directory``."""
+    artifacts: dict[str, dict] = {}
+    for path in sorted(directory.glob(BENCH_GLOB)):
+        try:
+            artifacts[path.name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"  WARN {path}: unreadable ({exc})")
+    return artifacts
+
+
+def compare_artifact(
+    name: str, baseline: dict, fresh: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """(problems, notes) of one fresh artifact vs its baseline."""
+    problems: list[str] = []
+    notes: list[str] = []
+
+    base_version = baseline.get("schema_version")
+    fresh_version = fresh.get("schema_version")
+    if base_version != fresh_version:
+        notes.append(
+            f"{name}: schema_version {base_version} -> {fresh_version}; "
+            "timings not compared"
+        )
+        return problems, notes
+
+    base_timings = baseline.get("timings", {})
+    fresh_timings = fresh.get("timings", {})
+    for key in sorted(base_timings):
+        if key not in fresh_timings:
+            notes.append(f"{name}: timing {key} absent from fresh run")
+            continue
+        base_value = base_timings[key]
+        fresh_value = fresh_timings[key]
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        limit = base_value * (1.0 + tolerance)
+        if fresh_value > limit:
+            problems.append(
+                f"{name}: {key} regressed {base_value:.4f}s -> "
+                f"{fresh_value:.4f}s (limit {limit:.4f}s at "
+                f"+{tolerance * 100:.0f}%)"
+            )
+        else:
+            notes.append(
+                f"{name}: {key} {base_value:.4f}s -> {fresh_value:.4f}s ok"
+            )
+    for key in sorted(set(fresh_timings) - set(base_timings)):
+        notes.append(f"{name}: new timing {key} (no baseline; recorded)")
+    return problems, notes
+
+
+def check_asserts(name: str, fresh: dict) -> tuple[list[str], list[str]]:
+    """(problems, notes) from one fresh artifact's asserts section."""
+    problems: list[str] = []
+    notes: list[str] = []
+    for key, record in sorted(fresh.get("asserts", {}).items()):
+        ok = record.get("ok")
+        if ok is False:
+            problems.append(
+                f"{name}: assert {key} failed "
+                f"({record.get('measured')} {record.get('op')} "
+                f"{record.get('bound')} is false)"
+            )
+        elif ok is None:
+            notes.append(
+                f"{name}: assert {key} skipped "
+                f"({record.get('skipped_reason', 'no reason recorded')})"
+            )
+    return problems, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", type=pathlib.Path, default=pathlib.Path("."),
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh-dir", type=pathlib.Path, required=True,
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown per timing "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="print the comparison but always exit 0",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-timing notes"
+    )
+    args = parser.parse_args(argv)
+
+    baselines = load_artifacts(args.baseline_dir)
+    fresh = load_artifacts(args.fresh_dir)
+    if not fresh:
+        print(f"no {BENCH_GLOB} files in {args.fresh_dir}")
+        return 0 if args.report_only else 1
+
+    problems: list[str] = []
+    notes: list[str] = []
+    for name, fresh_artifact in sorted(fresh.items()):
+        assert_problems, assert_notes = check_asserts(name, fresh_artifact)
+        problems.extend(assert_problems)
+        notes.extend(assert_notes)
+        baseline = baselines.get(name)
+        if baseline is None:
+            notes.append(f"{name}: no baseline (new bench; recorded)")
+            continue
+        timing_problems, timing_notes = compare_artifact(
+            name, baseline, fresh_artifact, args.tolerance
+        )
+        problems.extend(timing_problems)
+        notes.extend(timing_notes)
+    for name in sorted(set(baselines) - set(fresh)):
+        notes.append(f"{name}: baseline present but no fresh run")
+
+    if not args.quiet:
+        for note in notes:
+            print(f"  note {note}")
+    for problem in problems:
+        print(f"  FAIL {problem}")
+    verdict = "REGRESSION" if problems else "ok"
+    print(
+        f"check_regression: {len(fresh)} artifacts, "
+        f"{len(problems)} problems -> {verdict}"
+        + (" (report-only)" if args.report_only and problems else "")
+    )
+    if args.report_only:
+        return 0
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

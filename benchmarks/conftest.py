@@ -10,6 +10,7 @@ with ``pytest benchmarks/ --benchmark-only -s`` to see them.
 from __future__ import annotations
 
 import os
+import platform
 
 import pytest
 
@@ -18,6 +19,80 @@ from repro.experiments.runner import ExperimentContext
 #: Default work scale of the bench harness (structure-preserving shrink).
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+#: Bump when the unified BENCH_*.json layout changes shape.
+BENCH_SCHEMA_VERSION = 1
+
+_OPS = {
+    "<": lambda measured, bound: measured < bound,
+    "<=": lambda measured, bound: measured <= bound,
+    ">": lambda measured, bound: measured > bound,
+    ">=": lambda measured, bound: measured >= bound,
+    "==": lambda measured, bound: measured == bound,
+}
+
+
+def host_info() -> dict:
+    """Host identity recorded in every BENCH artifact.
+
+    Timings are only comparable within one host class; consumers
+    (``benchmarks/check_regression.py``) use this to annotate, not gate.
+    """
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_assert(
+    measured: object,
+    bound: object,
+    op: str,
+    skipped_reason: str | None = None,
+) -> dict:
+    """One acceptance check in the unified BENCH schema.
+
+    ``ok`` is ``None`` when the check was skipped (``skipped_reason``
+    says why), so consumers can tell "passed" from "not checked".
+    """
+    if op not in _OPS:
+        raise ValueError(f"unknown assert op {op!r}")
+    record: dict = {
+        "measured": measured,
+        "bound": bound,
+        "op": op,
+        "ok": None if skipped_reason else _OPS[op](measured, bound),
+    }
+    if skipped_reason:
+        record["skipped_reason"] = skipped_reason
+    return record
+
+
+def bench_artifact(
+    name: str,
+    params: dict,
+    timings: dict,
+    asserts: dict,
+    derived: dict | None = None,
+) -> dict:
+    """The unified BENCH_*.json layout shared by all four benches.
+
+    ``timings`` values are seconds, lower-is-better -- the only section
+    ``check_regression.py`` applies its tolerance band to.  ``asserts``
+    holds :func:`bench_assert` records (re-verified by consumers);
+    ``derived`` holds informational ratios/counts that are neither timed
+    nor gated.
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "host": host_info(),
+        "params": params,
+        "timings": timings,
+        "asserts": asserts,
+        "derived": derived or {},
+    }
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,9 @@ Examples::
     colab-repro train                # Table 2 pipeline only
     colab-repro trace --mix Sync-2   # Perfetto trace + metrics of one run
     colab-repro -vv trace ...        # same, with DEBUG decision logs
+    colab-repro sweep --jobs 4       # telemetry sweep: timeline + report
+    colab-repro sweep-report sweep_report.json
+    colab-repro diff a.jsonl b.jsonl # explain a run_digest mismatch
 """
 
 from __future__ import annotations
@@ -205,6 +208,74 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    """Telemetry-enabled sweep: results + merged timeline + report."""
+    import json
+
+    from repro.experiments.runner import sweep
+    from repro.obs.dist import (
+        DistTelemetry,
+        SweepProgress,
+        render_sweep_report,
+    )
+
+    ctx = _context(args)
+    mixes = [m.strip() for m in args.mixes.split(",") if m.strip()]
+    configs = tuple(c.strip() for c in args.configs.split(","))
+    schedulers = tuple(s.strip() for s in args.schedulers.split(","))
+    total = len(mixes) * len(configs) * len(schedulers)
+    telemetry = DistTelemetry(
+        progress=SweepProgress(total, enabled=not args.no_progress)
+    )
+    points = sweep(
+        ctx, mixes, configs=configs, schedulers=schedulers, jobs=args.jobs,
+        sanitize=args.sanitize, telemetry=telemetry,
+    )
+    for metrics in points:
+        print(
+            f"{metrics.mix_index}/{metrics.config}/{metrics.scheduler:<8} "
+            f"H_ANTT={metrics.h_antt:.3f} H_STP={metrics.h_stp:.3f}"
+        )
+    document = telemetry.merged_timeline()
+    with open(args.timeline, "w") as handle:
+        json.dump(document, handle)
+    report = telemetry.report()
+    with open(args.report, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(
+        f"\nwrote {args.timeline}: "
+        f"{len(document['traceEvents'])} trace_event records, "
+        f"{document['otherData']['workers']} worker tracks "
+        f"(open at https://ui.perfetto.dev)"
+    )
+    print(f"wrote {args.report}")
+    print()
+    print(render_sweep_report(report))
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> None:
+    """Summarise a sweep-report JSON written by ``sweep``."""
+    import json
+
+    from repro.obs.dist import render_sweep_report
+
+    with open(args.report) as handle:
+        report = json.load(handle)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_sweep_report(report))
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Explain the first divergence between two JSONL traces."""
+    from repro.obs.diff import diff_trace_files, render_trace_diff
+
+    diff = diff_trace_files(args.trace_a, args.trace_b, context=args.context)
+    print(render_trace_diff(diff))
+    return 0 if diff.identical else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the repo-contract lint pass; exit 0 iff no violations."""
     from repro.sanitize import lint_paths, render_json, render_text, rule_catalogue
@@ -366,6 +437,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under the scheduler sanitizer (schedsan)",
     )
     trace.set_defaults(func=_cmd_trace)
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="telemetry-enabled sweep: merged multi-process timeline, "
+        "live progress, sweep report",
+    )
+    sweep_cmd.add_argument(
+        "--mixes", default="Sync-1,Sync-2",
+        help="comma-separated Table 4 mix indices",
+    )
+    sweep_cmd.add_argument(
+        "--configs", default="2B2S", help="comma-separated hardware configs"
+    )
+    sweep_cmd.add_argument(
+        "--schedulers", default="linux,wash,colab",
+        help="comma-separated: linux/wash/colab/gts",
+    )
+    sweep_cmd.add_argument(
+        "--timeline", default="sweep_timeline.json",
+        help="merged Perfetto timeline output path",
+    )
+    sweep_cmd.add_argument(
+        "--report", default="sweep_report.json",
+        help="sweep-report JSON output path",
+    )
+    sweep_cmd.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the live progress line",
+    )
+    sweep_cmd.add_argument(
+        "--sanitize", action="store_true",
+        help="run every point under the scheduler sanitizer (schedsan)",
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+    sweep_report = sub.add_parser(
+        "sweep-report", help="summarise a sweep-report JSON (text or JSON)"
+    )
+    sweep_report.add_argument(
+        "report", help="sweep-report JSON written by the sweep subcommand"
+    )
+    sweep_report.add_argument(
+        "--json", action="store_true", help="re-emit the JSON payload"
+    )
+    sweep_report.set_defaults(func=_cmd_sweep_report)
+    diff = sub.add_parser(
+        "diff",
+        help="first divergence between two JSONL traces (exit 1 if any)",
+    )
+    diff.add_argument("trace_a", help="first JSONL trace (written by trace --jsonl)")
+    diff.add_argument("trace_b", help="second JSONL trace")
+    diff.add_argument(
+        "--context", type=int, default=3,
+        help="records of context to show around the divergence",
+    )
+    diff.set_defaults(func=_cmd_diff)
     lint = sub.add_parser(
         "lint", help="repo-contract lint pass (DET/OBS/KERN/ERR rules)"
     )

@@ -157,6 +157,11 @@ class ExperimentContext:
     obs_metrics: MetricsRegistry = field(
         default_factory=lambda: MetricsRegistry(enabled=True), repr=False
     )
+    #: Host-side span collector (:class:`repro.obs.spans.SpanCollector`)
+    #: for sweep telemetry; ``None`` keeps the hot path span-free.  Worker
+    #: processes get their own collector (built by the pool initializer),
+    #: never the parent's.
+    spans: object | None = field(default=None, repr=False)
     _run_cache: "BoundedCache[RunKey, RunResult]" = field(
         init=False, repr=False
     )
@@ -280,10 +285,16 @@ def run_mix_once(
     and a cached bare result would lack the requested checking.
     """
     key = (mix.index, config, scheduler_name, big_first)
+    spans = ctx.spans if ctx.spans is not None and ctx.spans.enabled else None
     cacheable = obs is None and not sanitize
     if cacheable:
         cached = ctx._run_cache.get(key)
         if cached is not None:
+            if spans is not None:
+                spans.event(
+                    "run_cache_hit", mix=mix.index, config=config,
+                    scheduler=scheduler_name, big_first=big_first,
+                )
             return cached
     topology = ctx.topology(config, big_first)
     machine = Machine(
@@ -294,7 +305,21 @@ def run_mix_once(
     env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
     for instance in mix.instantiate(env):
         machine.add_program(instance)
-    result = machine.run()
+    if spans is not None:
+        with spans.span(
+            "run", mix=mix.index, config=config, scheduler=scheduler_name,
+            big_first=big_first,
+        ):
+            result = machine.run()
+    else:
+        result = machine.run()
+    registry = ctx.obs_metrics
+    if registry.enabled:
+        # Fresh computation only -- cache hits above return early, so these
+        # counters measure actual simulation work, not cache traffic.
+        registry.counter("sim.events_processed").inc(result.events_processed)
+        registry.counter("sim.events_discarded").inc(result.events_discarded)
+        registry.counter("sim.events_suppressed").inc(result.events_suppressed)
     if cacheable:
         ctx._run_cache.put(key, result)
     return result
@@ -360,6 +385,7 @@ def sweep(
     schedulers: tuple[str, ...] = SCHEDULERS,
     jobs: int | None = None,
     sanitize: bool = False,
+    telemetry=None,
 ) -> list[MixMetrics]:
     """Evaluate the full cross product (cached, order-averaged).
 
@@ -367,9 +393,14 @@ def sweep(
     :func:`repro.parallel.executor.parallel_sweep`, whose output is
     merged in evaluation-point order and is bit-identical to the serial
     path for pure estimators.
+
+    ``telemetry`` (a :class:`repro.obs.dist.DistTelemetry`, optional)
+    collects cross-process spans, progress, and the sweep report; when
+    set, even ``jobs=1`` routes through the pool executor so the merged
+    timeline always has the same parent + worker track structure.
     """
     effective_jobs = ctx.jobs if jobs is None else jobs
-    if effective_jobs > 1:
+    if effective_jobs > 1 or telemetry is not None:
         from repro.parallel.executor import parallel_sweep
 
         return parallel_sweep(
@@ -379,6 +410,7 @@ def sweep(
             schedulers=schedulers,
             jobs=effective_jobs,
             sanitize=sanitize,
+            telemetry=telemetry,
         )
     return [
         evaluate_mix(ctx, mix_index, config, scheduler, sanitize=sanitize)

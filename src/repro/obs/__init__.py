@@ -18,7 +18,23 @@ Perfetto-loadable Chrome trace plus a metrics JSON for one run.
 """
 
 from repro.obs.context import Observability, ObsConfig
+from repro.obs.diff import (
+    TraceDiff,
+    diff_trace_files,
+    first_divergence,
+    render_trace_diff,
+)
+from repro.obs.dist import (
+    REPORT_SCHEMA_VERSION,
+    DistTelemetry,
+    PointTelemetry,
+    SweepProgress,
+    point_label,
+    render_sweep_report,
+    timeline_shape,
+)
 from repro.obs.exporters import (
+    merged_sweep_trace,
     to_chrome_trace,
     to_jsonl,
     write_chrome_trace,
@@ -33,6 +49,12 @@ from repro.obs.metrics import (
     TimeWeighted,
 )
 from repro.obs.profiling import Profiler
+from repro.obs.spans import (
+    SPAN_SCHEMA_VERSION,
+    Span,
+    SpanCollector,
+    SpanEvent,
+)
 from repro.obs.tracer import (
     SCHEMA_VERSION,
     EventKind,
@@ -43,20 +65,36 @@ from repro.obs.tracer import (
 
 __all__ = [
     "Counter",
+    "DistTelemetry",
     "EventKind",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "ObsConfig",
+    "PointTelemetry",
     "Profiler",
+    "REPORT_SCHEMA_VERSION",
     "SCHEMA_VERSION",
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "SpanCollector",
+    "SpanEvent",
+    "SweepProgress",
     "TimeWeighted",
+    "TraceDiff",
     "TraceEvent",
     "Tracer",
     "configure",
+    "diff_trace_files",
     "dispatch_slices",
+    "first_divergence",
     "get_logger",
+    "merged_sweep_trace",
+    "point_label",
+    "render_sweep_report",
+    "render_trace_diff",
+    "timeline_shape",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",

@@ -1,0 +1,194 @@
+"""First-divergence finder over two typed-event JSONL trace files.
+
+``repro.sim.digest.run_digest`` tells you *that* two runs diverged;
+``repro diff A.jsonl B.jsonl`` tells you *where and why*: it walks two
+JSONL traces (written by :func:`repro.obs.exporters.write_jsonl`) in
+lockstep and reports the first record where they differ, with surrounding
+context from both sides.  For DECISION events the kind-specific payload is
+the factor scores the scheduler weighed, so the rendering puts the two
+score sets side by side -- the usual culprit of a digest mismatch is
+visible directly (a blocking count off by one, a speedup estimate from a
+stale model, ...).
+
+Records are compared as parsed JSON objects, so formatting differences
+(key order, float spelling produced by the same exporter version) cannot
+produce false divergences, while any semantic difference -- timestamp,
+kind, core, tid, args -- does.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of comparing two JSONL traces."""
+
+    path_a: str
+    path_b: str
+    length_a: int
+    length_b: int
+    #: Index of the first differing record; ``None`` when identical.
+    index: int | None = None
+    #: The differing records (``None`` on the side that ended early).
+    record_a: dict | None = None
+    record_b: dict | None = None
+    #: Shared records immediately before the divergence (common prefix
+    #: tail), oldest first.
+    context_before: list[dict] = field(default_factory=list)
+    #: Records immediately after the divergence on each side.
+    after_a: list[dict] = field(default_factory=list)
+    after_b: list[dict] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return self.index is None
+
+
+def load_trace_jsonl(path: str | pathlib.Path) -> list[dict]:
+    """Parse one JSONL trace file into a list of record dicts.
+
+    Raises:
+        ExperimentError: on unreadable files or non-JSON lines, with the
+            offending line number.
+    """
+    source = pathlib.Path(path)
+    if not source.is_file():
+        raise ExperimentError(f"trace file {source} does not exist")
+    records: list[dict] = []
+    for lineno, line in enumerate(
+        source.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(
+                f"{source}:{lineno}: not a JSON record: {exc.msg}"
+            ) from exc
+    return records
+
+
+def first_divergence(
+    records_a: list[dict],
+    records_b: list[dict],
+    path_a: str = "A",
+    path_b: str = "B",
+    context: int = 3,
+) -> TraceDiff:
+    """Locate the first record where two parsed traces differ.
+
+    A strict-prefix relationship (one trace is a truncation of the other)
+    diverges at the shorter trace's length, with ``None`` standing in for
+    the missing record.
+    """
+    diff = TraceDiff(
+        path_a=path_a,
+        path_b=path_b,
+        length_a=len(records_a),
+        length_b=len(records_b),
+    )
+    shared = min(len(records_a), len(records_b))
+    index = None
+    for i in range(shared):
+        if records_a[i] != records_b[i]:
+            index = i
+            break
+    if index is None:
+        if len(records_a) == len(records_b):
+            return diff
+        index = shared
+    diff.index = index
+    diff.record_a = records_a[index] if index < len(records_a) else None
+    diff.record_b = records_b[index] if index < len(records_b) else None
+    diff.context_before = records_a[max(0, index - context):index]
+    diff.after_a = records_a[index + 1:index + 1 + context]
+    diff.after_b = records_b[index + 1:index + 1 + context]
+    return diff
+
+
+def diff_trace_files(
+    path_a: str | pathlib.Path,
+    path_b: str | pathlib.Path,
+    context: int = 3,
+) -> TraceDiff:
+    """Load two JSONL traces and locate their first divergence."""
+    return first_divergence(
+        load_trace_jsonl(path_a),
+        load_trace_jsonl(path_b),
+        path_a=str(path_a),
+        path_b=str(path_b),
+        context=context,
+    )
+
+
+def _compact(record: dict | None) -> str:
+    if record is None:
+        return "<no record: trace ended>"
+    return json.dumps(record, sort_keys=True)
+
+
+def _decision_factor_table(record_a: dict, record_b: dict) -> list[str]:
+    """Side-by-side factor scores of two DECISION records."""
+    args_a = record_a.get("args") or {}
+    args_b = record_b.get("args") or {}
+    factors = sorted(set(args_a) | set(args_b))
+    if not factors:
+        return []
+    width = max(len("factor"), max(len(f) for f in factors))
+    lines = [
+        "  decision factor scores:",
+        f"    {'factor'.ljust(width)}  {'A':<20}  B",
+    ]
+    for factor in factors:
+        value_a = args_a.get(factor, "<absent>")
+        value_b = args_b.get(factor, "<absent>")
+        marker = "" if value_a == value_b else "   <-- differs"
+        lines.append(
+            f"    {factor.ljust(width)}  {str(value_a):<20}  "
+            f"{value_b}{marker}"
+        )
+    return lines
+
+
+def render_trace_diff(diff: TraceDiff) -> str:
+    """Human-readable report of one :class:`TraceDiff`."""
+    if diff.identical:
+        return (
+            f"traces identical: {diff.length_a} records\n"
+            f"  A: {diff.path_a}\n  B: {diff.path_b}"
+        )
+    lines = [
+        f"traces diverge at record {diff.index} "
+        f"(A has {diff.length_a} records, B has {diff.length_b})",
+        f"  A: {diff.path_a}",
+        f"  B: {diff.path_b}",
+    ]
+    if diff.context_before:
+        lines.append("  shared context before divergence:")
+        start = diff.index - len(diff.context_before)
+        for offset, record in enumerate(diff.context_before):
+            lines.append(f"    [{start + offset}] {_compact(record)}")
+    lines.append(f"  A[{diff.index}]: {_compact(diff.record_a)}")
+    lines.append(f"  B[{diff.index}]: {_compact(diff.record_b)}")
+    if (
+        diff.record_a is not None
+        and diff.record_b is not None
+        and diff.record_a.get("kind") == "decision"
+        and diff.record_b.get("kind") == "decision"
+    ):
+        lines.extend(_decision_factor_table(diff.record_a, diff.record_b))
+    for label, follow in (("A", diff.after_a), ("B", diff.after_b)):
+        if follow:
+            lines.append(f"  {label} continues:")
+            for offset, record in enumerate(follow):
+                lines.append(
+                    f"    [{diff.index + 1 + offset}] {_compact(record)}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Host-side spans: the cross-process unit of sweep telemetry.
+
+A :class:`Span` is a named host-wall-clock interval recorded by one
+*actor* (the parent orchestrator or one worker process).  Spans carry a
+trace id propagated from the parent, a per-collector span id, and the id
+of the enclosing open span, so a merged multi-process timeline can
+reconstruct nesting without any cross-process coordination.
+
+Spans measure *host* time (``time.time()``, shared across the processes
+of one sweep), never simulated time -- the simulated clock already has the
+typed event trace (:mod:`repro.obs.tracer`).  The two are deliberately
+separate models: trace events explain what the simulated machine did;
+spans explain where the sweep's wall-clock went.
+
+Closing contract
+----------------
+Every started span must be closed on all paths.  The blessed idiom is the
+context manager::
+
+    with collector.span("point", mix="Sync-2"):
+        ...
+
+The low-level :meth:`SpanCollector.start_span` / :meth:`~SpanCollector.end_span`
+pair exists for call sites that cannot use ``with``; such sites must close
+in a ``finally`` block -- lint rule OBS002 flags ``start_span`` calls in
+functions with no ``finally`` close.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+#: Bump when Span/SpanEvent field meanings change.
+SPAN_SCHEMA_VERSION = 1
+
+
+@dataclass(slots=True)
+class Span:
+    """One named host-time interval recorded by one actor.
+
+    Attributes:
+        name: What ran (e.g. ``"Sync-2/2B2S/colab"`` for a point span).
+        actor: Who recorded it (``"parent"`` or ``"pid-<n>"``).
+        span_id: Collector-local id (unique per actor, not globally).
+        parent_id: ``span_id`` of the enclosing open span, if any.
+        start_s: Host wall-clock seconds (``time.time()`` epoch).
+        end_s: Close timestamp; ``None`` while the span is open.
+        args: Small JSON-serialisable payload.
+    """
+
+    name: str
+    actor: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    end_s: float | None = None
+    args: dict | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Closed duration; an open span reports zero."""
+        if self.end_s is None:
+            return 0.0
+        return max(0.0, self.end_s - self.start_s)
+
+    def to_dict(self) -> dict:
+        record: dict = {
+            "name": self.name,
+            "actor": self.actor,
+            "span_id": self.span_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+        }
+        if self.parent_id is not None:
+            record["parent_id"] = self.parent_id
+        if self.args:
+            record["args"] = self.args
+        return record
+
+
+@dataclass(slots=True)
+class SpanEvent:
+    """A zero-duration telemetry mark (cache hit, straggler note, ...)."""
+
+    name: str
+    actor: str
+    time_s: float
+    args: dict | None = None
+
+    def to_dict(self) -> dict:
+        record: dict = {
+            "name": self.name,
+            "actor": self.actor,
+            "time_s": self.time_s,
+        }
+        if self.args:
+            record["args"] = self.args
+        return record
+
+
+class SpanCollector:
+    """Collects spans and events for one actor of one sweep.
+
+    Args:
+        actor: Track label of this process ("parent" / ``"pid-<n>"``).
+        trace_id: Sweep-wide id propagated from the parent.
+        enabled: When False every call is a cheap no-op, so call sites can
+            hold a collector reference unconditionally.
+        clock: Injection point for tests; defaults to ``time.time`` so
+            timestamps from all processes of one sweep share an epoch.
+    """
+
+    __slots__ = ("actor", "trace_id", "enabled", "spans", "events",
+                 "_clock", "_next_id", "_stack")
+
+    def __init__(
+        self,
+        actor: str,
+        trace_id: str = "",
+        enabled: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.actor = actor
+        self.trace_id = trace_id
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self.events: list[SpanEvent] = []
+        self._clock = clock
+        self._next_id = 1
+        self._stack: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def start_span(self, name: str, **args: object) -> Span | None:
+        """Open a span (manual form; close in a ``finally`` -- OBS002)."""
+        if not self.enabled:
+            return None
+        span = Span(
+            name=name,
+            actor=self.actor,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            start_s=self._clock(),
+            args=args or None,
+        )
+        self._next_id += 1
+        self._stack.append(span.span_id)
+        self.spans.append(span)
+        return span
+
+    def end_span(self, span: Span | None) -> None:
+        """Close ``span`` (tolerates ``None`` from a disabled collector)."""
+        if span is None:
+            return
+        span.end_s = self._clock()
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        elif span.span_id in self._stack:  # out-of-order close
+            self._stack.remove(span.span_id)
+
+    @contextmanager
+    def span(self, name: str, **args: object) -> Iterator[Span | None]:
+        """Record ``name`` around the ``with`` body; closes on all paths."""
+        handle = self.start_span(name, **args)
+        try:
+            yield handle
+        finally:
+            self.end_span(handle)
+
+    def event(self, name: str, **args: object) -> None:
+        """Record a zero-duration mark at the current host time."""
+        if not self.enabled:
+            return
+        self.events.append(
+            SpanEvent(
+                name=name, actor=self.actor, time_s=self._clock(),
+                args=args or None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Handoff
+    # ------------------------------------------------------------------
+    def drain(self) -> tuple[list[Span], list[SpanEvent]]:
+        """Hand off and clear everything recorded so far.
+
+        Workers drain once per evaluation point so each telemetry bundle
+        carries exactly that point's spans; the nesting stack is *not*
+        reset -- an open span at drain time stays open (and is the next
+        batch's problem, which is why point spans use ``with``).
+        """
+        spans, events = self.spans, self.events
+        self.spans, self.events = [], []
+        return spans, events
+
+    def open_spans(self) -> list[Span]:
+        """Spans started but not yet closed (diagnostics / tests)."""
+        open_ids = set(self._stack)
+        return [s for s in self.spans if s.span_id in open_ids]

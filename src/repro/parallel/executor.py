@@ -22,6 +22,15 @@ repo's determinism contract:
   from the in-process and persistent caches before deciding whether a
   pool (or model training) is needed at all; a fully warm cache answers
   without spawning a single worker.
+* **Observational telemetry** -- with a
+  :class:`repro.obs.dist.DistTelemetry` attached, each worker records
+  spans and counter deltas per point and ships a
+  :class:`~repro.obs.dist.PointTelemetry` bundle back alongside the
+  result.  Bundles ride the same futures but never touch the merge keys,
+  the caches, or the fingerprint, so telemetry-enabled sweeps return
+  bit-identical results to plain ones.  Live progress polls futures in
+  submission order with a timeout (display only; the merge below is
+  oblivious to which future finished first).
 
 Caveat: an impure estimator (oracle with ``noise_std > 0``) draws from a
 sequential RNG stream, so its predictions depend on how many estimates
@@ -36,6 +45,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 from repro.errors import ExperimentError
 from repro.experiments.runner import (
@@ -46,32 +56,128 @@ from repro.experiments.runner import (
     evaluate_mix,
 )
 from repro.model.speedup import estimator_from_spec, estimator_to_spec
+from repro.obs.dist import DistTelemetry, PointTelemetry, point_label
+from repro.obs.spans import SpanCollector
 
 #: Worker-process context, built once per worker by :func:`_init_worker`.
 _WORKER_CTX: ExperimentContext | None = None
 
 
-def _init_worker(seed: int, work_scale: float, estimator_spec: dict) -> None:
-    """Build the per-worker context from the parent's shipped state."""
+def _init_worker(
+    seed: int,
+    work_scale: float,
+    estimator_spec: dict,
+    telemetry_ctx: dict | None = None,
+) -> None:
+    """Build the per-worker context from the parent's shipped state.
+
+    ``telemetry_ctx`` (``{"trace_id": ...}``) propagates the sweep's
+    trace id; when present the worker context gets its own
+    :class:`~repro.obs.spans.SpanCollector` whose spans are drained into
+    per-point bundles by :func:`_eval_point`.
+    """
     global _WORKER_CTX
     _WORKER_CTX = ExperimentContext(
         seed=seed,
         work_scale=work_scale,
         estimator=estimator_from_spec(estimator_spec),
     )
+    if telemetry_ctx is not None:
+        _WORKER_CTX.spans = SpanCollector(
+            actor=f"pid-{os.getpid()}",
+            trace_id=telemetry_ctx.get("trace_id", ""),
+        )
+
+
+def _counter_snapshot(ctx: ExperimentContext) -> dict[str, float]:
+    """Current counter values of the worker context's registry."""
+    if not ctx.obs_metrics.enabled:
+        return {}
+    return dict(ctx.obs_metrics.snapshot().get("counters", {}))
 
 
 def _eval_point(
-    mix_index: str, config: str, scheduler: str, sanitize: bool
-) -> tuple[MixMetrics, int, float]:
-    """Worker task: one evaluation point plus utilisation bookkeeping."""
+    mix_index: str,
+    config: str,
+    scheduler: str,
+    sanitize: bool,
+    submit_s: float | None = None,
+) -> tuple[MixMetrics, int, float, PointTelemetry | None]:
+    """Worker task: one evaluation point plus utilisation bookkeeping.
+
+    With telemetry enabled (a span collector on the worker context and a
+    ``submit_s`` from the parent), also returns the point's telemetry
+    bundle: the point span (wrapping the whole evaluation), any nested
+    run spans / cache-hit marks, and the counter deltas this point caused
+    (sim event totals, run-cache traffic, ...).
+    """
     if _WORKER_CTX is None:  # pragma: no cover - initializer contract
         raise ExperimentError("worker context missing; pool not initialised")
+    ctx = _WORKER_CTX
     started = time.perf_counter()
-    metrics = evaluate_mix(
-        _WORKER_CTX, mix_index, config, scheduler, sanitize=sanitize
+    spans = ctx.spans
+    collect = spans is not None and spans.enabled and submit_s is not None
+    if not collect:
+        metrics = evaluate_mix(ctx, mix_index, config, scheduler, sanitize=sanitize)
+        return metrics, os.getpid(), time.perf_counter() - started, None
+
+    point = (mix_index, config, scheduler)
+    before = _counter_snapshot(ctx)
+    start_s = time.time()
+    with spans.span(
+        point_label(point), mix=mix_index, config=config, scheduler=scheduler
+    ):
+        metrics = evaluate_mix(ctx, mix_index, config, scheduler, sanitize=sanitize)
+    end_s = time.time()
+    after = _counter_snapshot(ctx)
+    deltas = {
+        name: value - before.get(name, 0.0)
+        for name, value in after.items()
+        if value != before.get(name, 0.0)
+    }
+    point_spans, point_events = spans.drain()
+    bundle = PointTelemetry(
+        point=point,
+        pid=os.getpid(),
+        submit_s=submit_s,
+        start_s=start_s,
+        end_s=end_s,
+        spans=point_spans,
+        events=point_events,
+        counters=deltas,
     )
-    return metrics, os.getpid(), time.perf_counter() - started
+    return metrics, os.getpid(), time.perf_counter() - started, bundle
+
+
+def _collect_with_progress(submitted, telemetry: DistTelemetry):
+    """Drain futures in submission order, rendering live progress.
+
+    Yields ``(point, result)`` strictly in submission order -- progress
+    polling uses ``Future.result(timeout=...)`` on the *next* pending
+    future, so completion order is display-only and can never reorder
+    the merge (DET003).
+    """
+    progress = telemetry.progress
+    live = progress is not None and progress.enabled
+    done = len(telemetry.cached)
+    if live:
+        progress.update(done, force=True)
+    for index, (point, future) in enumerate(submitted):
+        while True:
+            try:
+                result = future.result(
+                    timeout=progress.poll_interval_s if live else None
+                )
+                break
+            except FutureTimeoutError:
+                stragglers = tuple(
+                    p for p, f in submitted[index:] if f.running()
+                )
+                progress.update(done, stragglers)
+        done += 1
+        if live:
+            progress.update(done)
+        yield point, result
 
 
 def parallel_sweep(
@@ -81,6 +187,7 @@ def parallel_sweep(
     schedulers: tuple[str, ...] = SCHEDULERS,
     jobs: int = 2,
     sanitize: bool = False,
+    telemetry: DistTelemetry | None = None,
 ) -> list[MixMetrics]:
     """Evaluate the cross product on a process pool; order-stable output.
 
@@ -93,6 +200,9 @@ def parallel_sweep(
         ctx: The campaign context; its caches are consulted and filled.
         jobs: Worker process count (values below 1 are clamped to 1).
         sanitize: Run every point under schedsan (cache-bypassing).
+        telemetry: Optional :class:`~repro.obs.dist.DistTelemetry`;
+            collects parent/worker spans, a live progress line, and the
+            sweep report without affecting results or caching.
     """
     points = [
         (mix_index, config, scheduler)
@@ -100,17 +210,30 @@ def parallel_sweep(
         for config in configs
         for scheduler in schedulers
     ]
+    if telemetry is not None:
+        telemetry.begin(points, max(1, jobs))
+        if telemetry.progress is not None:
+            telemetry.progress.total = len(points)
+    parent = telemetry.parent if telemetry is not None else None
+
     results: dict[tuple[str, str, str], MixMetrics] = {}
     pending: list[tuple[str, str, str]] = []
-    if sanitize:
-        pending = list(points)
-    else:
-        for point in points:
-            hit = ctx.peek_metrics(*point)
-            if hit is not None:
-                results[point] = hit
-            else:
-                pending.append(point)
+    resolve = parent.start_span("resolve_cache") if parent is not None else None
+    try:
+        if sanitize:
+            pending = list(points)
+        else:
+            for point in points:
+                hit = ctx.peek_metrics(*point)
+                if hit is not None:
+                    results[point] = hit
+                    if telemetry is not None:
+                        telemetry.record_cached(point)
+                else:
+                    pending.append(point)
+    finally:
+        if parent is not None:
+            parent.end_span(resolve)
 
     registry = ctx.obs_metrics
     registry.gauge("parallel.jobs").set(max(1, jobs))
@@ -118,12 +241,25 @@ def parallel_sweep(
         len(points) - len(pending)
     )
     if not pending:
+        if telemetry is not None:
+            telemetry.finish()
+            telemetry.aggregate_into(registry)
+            if telemetry.progress is not None:
+                telemetry.progress.finish()
         return [results[point] for point in points]
 
     # Train (or reuse) the model once in the parent; workers rebuild it
     # from the fitted spec instead of re-running the training pipeline.
-    estimator_spec = estimator_to_spec(ctx.get_estimator())
-    initargs = (ctx.seed, ctx.work_scale, estimator_spec)
+    train = parent.start_span("train_estimator") if parent is not None else None
+    try:
+        estimator_spec = estimator_to_spec(ctx.get_estimator())
+    finally:
+        if parent is not None:
+            parent.end_span(train)
+    telemetry_ctx = (
+        {"trace_id": telemetry.trace_id} if telemetry is not None else None
+    )
+    initargs = (ctx.seed, ctx.work_scale, estimator_spec, telemetry_ctx)
     factory = ctx.executor_factory
     if factory is None:
         factory = lambda workers, initializer, args: ProcessPoolExecutor(  # noqa: E731
@@ -134,23 +270,63 @@ def parallel_sweep(
     busy_s: dict[int, float] = {}
     points_by_pid: dict[int, int] = {}
     with factory(max(1, jobs), _init_worker, initargs) as pool:
-        submitted = [
-            (point, pool.submit(_eval_point, *point, sanitize))
-            for point in pending
-        ]
+        submit = parent.start_span("submit", points=len(pending)) if parent is not None else None
+        try:
+            submitted = [
+                (
+                    point,
+                    pool.submit(
+                        _eval_point,
+                        *point,
+                        sanitize,
+                        time.time() if telemetry is not None else None,
+                    ),
+                )
+                for point in pending
+            ]
+        finally:
+            if parent is not None:
+                parent.end_span(submit)
         # Deterministic merge: collect by evaluation point in submission
         # order.  Completion order must never influence the output (or
         # anything else observable) -- see DET003.
-        for point, future in submitted:
-            metrics, pid, seconds = future.result()
-            results[point] = metrics
-            busy_s[pid] = busy_s.get(pid, 0.0) + seconds
-            points_by_pid[pid] = points_by_pid.get(pid, 0) + 1
+        collect = parent.start_span("collect", points=len(pending)) if parent is not None else None
+        try:
+            if telemetry is not None:
+                outcomes = _collect_with_progress(submitted, telemetry)
+            else:
+                outcomes = (
+                    (point, future.result()) for point, future in submitted
+                )
+            for point, outcome in outcomes:
+                metrics, pid, seconds, bundle = outcome
+                results[point] = metrics
+                busy_s[pid] = busy_s.get(pid, 0.0) + seconds
+                points_by_pid[pid] = points_by_pid.get(pid, 0) + 1
+                if telemetry is not None and bundle is not None:
+                    telemetry.record_bundle(point, bundle)
+        finally:
+            if parent is not None:
+                parent.end_span(collect)
     elapsed = time.perf_counter() - started
 
     if not sanitize:
-        for point in pending:
-            ctx.store_metrics(results[point])
+        store = parent.start_span("store_results", points=len(pending)) if parent is not None else None
+        try:
+            for point in pending:
+                ctx.store_metrics(results[point])
+        finally:
+            if parent is not None:
+                parent.end_span(store)
+    if telemetry is not None:
+        telemetry.finish(
+            busy_by_pid=busy_s,
+            points_by_pid=points_by_pid,
+            pool_elapsed_s=elapsed,
+        )
+        telemetry.aggregate_into(registry)
+        if telemetry.progress is not None:
+            telemetry.progress.finish()
 
     registry.counter("parallel.points_executed").inc(len(pending))
     registry.gauge("parallel.wall_s").set(elapsed)

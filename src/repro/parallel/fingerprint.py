@@ -19,6 +19,13 @@ Estimators whose predictions depend on estimate-issue order (a noisy
 oracle draws from a sequential RNG stream) have no stable fingerprint:
 :func:`estimator_fingerprint` returns ``None`` and callers must skip the
 persistent cache for them.
+
+Telemetry is deliberately **not** key material: whether a sweep ran with
+``repro.obs.dist`` spans/progress enabled changes nothing about the
+outcome (telemetry is observational by contract), so a telemetry-enabled
+sweep must hit the same cache entries a plain one wrote -- and telemetry
+bundles are likewise never part of the cached payload.
+:data:`TELEMETRY_EXCLUDED_FIELDS` names the excluded state for tests.
 """
 
 from __future__ import annotations
@@ -35,6 +42,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump when the cached payload layout or key material changes shape.
 SCHEMA_VERSION = 1
+
+#: Context/sweep state that must never appear in key material or cached
+#: payloads: telemetry describes an execution, not an outcome.
+TELEMETRY_EXCLUDED_FIELDS = ("spans", "obs_metrics", "telemetry")
 
 _SOURCE_HASH: str | None = None
 

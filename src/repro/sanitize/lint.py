@@ -36,6 +36,9 @@ DECISION_SCOPE = (
 #: Where sweep results are produced and merged; the deterministic-merge
 #: contract (submission-order collection) is enforced here.
 MERGE_SCOPE = ("repro/experiments/", "repro/parallel/")
+#: Where host-side telemetry spans (repro.obs.spans) may be opened; the
+#: close-on-all-paths contract (OBS002) applies to the whole package.
+SPAN_SCOPE = ("repro/",)
 
 _SUPPRESS_RE = re.compile(r"#\s*sanitize:\s*ignore\[([A-Z0-9,\s]+)\]")
 

@@ -15,6 +15,7 @@ from repro.sanitize.lint import (
     DECISION_SCOPE,
     MERGE_SCOPE,
     SIM_KERNEL_SCOPE,
+    SPAN_SCOPE,
     ParsedModule,
     Violation,
     rule,
@@ -294,6 +295,56 @@ def obs001(module: ParsedModule) -> Iterator[Violation]:
                 node, "OBS001",
                 "tracer.emit() call not guarded by `if <tracer>.enabled:`; "
                 "disabled runs would still pay for event construction",
+            )
+
+
+# ----------------------------------------------------------------------
+# OBS002 -- spans must be closed on all paths
+# ----------------------------------------------------------------------
+
+
+def _has_finally_end_span(scope: ast.AST) -> bool:
+    """Does ``scope`` contain a ``finally:`` block calling ``end_span``?"""
+    for node in ast.walk(scope):
+        if not (isinstance(node, ast.Try) and node.finalbody):
+            continue
+        for statement in node.finalbody:
+            for inner in ast.walk(statement):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "end_span"
+                ):
+                    return True
+    return False
+
+
+@rule(
+    "OBS002",
+    "every start_span() paired with a finally-path end_span()",
+    "A span left open on an exception path corrupts the merged timeline "
+    "(its duration reads as zero and its children re-parent); the manual "
+    "start_span()/end_span() form is only legal when the close sits in a "
+    "`finally:` of the same function.  Prefer the context manager "
+    "`with collector.span(...)`, which closes on all paths by "
+    "construction.",
+    SPAN_SCOPE,
+)
+def obs002(module: ParsedModule) -> Iterator[Violation]:
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "start_span"
+        ):
+            continue
+        scope = _enclosing_scope(module, node)
+        if not _has_finally_end_span(scope):
+            yield module.violation(
+                node, "OBS002",
+                "start_span() without an end_span() on a `finally:` path in "
+                "the same function; an exception would leak an open span -- "
+                "use `with collector.span(...)` or close in `finally`",
             )
 
 

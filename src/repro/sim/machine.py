@@ -159,6 +159,12 @@ class RunResult:
     #: Run-level trace context (topology/scheduler/seed/core kinds) for
     #: the exporters; empty unless the run enabled tracing.
     trace_metadata: dict = field(default_factory=dict)
+    #: Always-on event-engine accounting (populated whether or not obs
+    #: metrics ran, so sweep telemetry can aggregate them from workers;
+    #: deliberately outside :func:`repro.sim.digest.run_digest`).
+    events_processed: int = 0
+    events_discarded: int = 0
+    events_suppressed: int = 0
 
     def turnaround_of(self, app_name: str) -> float:
         """Turnaround of the (unique) application called ``app_name``."""
@@ -981,6 +987,9 @@ class Machine:
             events=events,
             metrics=self._snapshot_metrics(makespan),
             trace_metadata=dict(self._tracer.metadata),
+            events_processed=self.engine.processed,
+            events_discarded=self.engine.discarded,
+            events_suppressed=self._suppressed,
         )
 
     def _snapshot_metrics(self, makespan: float) -> dict:

@@ -1,0 +1,148 @@
+"""First-divergence finder over typed-event JSONL traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs.diff import (
+    diff_trace_files,
+    first_divergence,
+    load_trace_jsonl,
+    render_trace_diff,
+)
+
+
+def record(i, kind="dispatch", **args):
+    out = {"t": float(i), "kind": kind, "core": 0, "tid": i}
+    if args:
+        out["args"] = args
+    return out
+
+
+def write_jsonl(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+class TestFirstDivergence:
+    def test_identical_traces(self):
+        records = [record(i) for i in range(5)]
+        diff = first_divergence(records, list(records))
+        assert diff.identical
+        assert diff.index is None
+        assert diff.length_a == diff.length_b == 5
+
+    def test_divergence_index_and_records(self):
+        a = [record(0), record(1), record(2), record(3)]
+        b = [record(0), record(1), {"t": 2.0, "kind": "block"}, record(3)]
+        diff = first_divergence(a, b)
+        assert not diff.identical
+        assert diff.index == 2
+        assert diff.record_a == record(2)
+        assert diff.record_b == {"t": 2.0, "kind": "block"}
+
+    def test_context_windows(self):
+        a = [record(i) for i in range(10)]
+        b = list(a)
+        b[6] = record(99)
+        diff = first_divergence(a, b, context=2)
+        assert diff.index == 6
+        assert diff.context_before == [record(4), record(5)]
+        assert diff.after_a == [record(7), record(8)]
+        assert diff.after_b == [record(7), record(8)]
+
+    def test_key_order_is_not_a_divergence(self):
+        a = [{"t": 1.0, "kind": "dispatch"}]
+        b = [{"kind": "dispatch", "t": 1.0}]
+        assert first_divergence(a, b).identical
+
+    def test_strict_prefix_diverges_at_truncation(self):
+        a = [record(0), record(1), record(2)]
+        diff = first_divergence(a, a[:2])
+        assert diff.index == 2
+        assert diff.record_a == record(2)
+        assert diff.record_b is None
+
+    def test_both_empty_is_identical(self):
+        assert first_divergence([], []).identical
+
+
+class TestLoadTraceJsonl:
+    def test_round_trip(self, tmp_path):
+        records = [record(0), record(1)]
+        path = write_jsonl(tmp_path / "trace.jsonl", records)
+        assert load_trace_jsonl(path) == records
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(record(0)) + "\n\n" + json.dumps(record(1)) + "\n")
+        assert len(load_trace_jsonl(path)) == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExperimentError, match="does not exist"):
+            load_trace_jsonl(tmp_path / "absent.jsonl")
+
+    def test_bad_json_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(record(0)) + "\nnot json\n")
+        with pytest.raises(ExperimentError, match=r":2: not a JSON record"):
+            load_trace_jsonl(path)
+
+
+class TestDiffTraceFiles:
+    def test_end_to_end(self, tmp_path):
+        a = write_jsonl(tmp_path / "a.jsonl", [record(0), record(1)])
+        b = write_jsonl(tmp_path / "b.jsonl", [record(0), record(7)])
+        diff = diff_trace_files(a, b)
+        assert diff.index == 1
+        assert diff.path_a == str(a)
+        assert diff.path_b == str(b)
+
+
+class TestRendering:
+    def test_identical_rendering(self):
+        diff = first_divergence([record(0)], [record(0)], "a.jsonl", "b.jsonl")
+        text = render_trace_diff(diff)
+        assert "traces identical: 1 records" in text
+        assert "a.jsonl" in text
+
+    def test_divergence_rendering_shows_context(self):
+        a = [record(i) for i in range(5)]
+        b = list(a)
+        b[3] = record(42)
+        text = render_trace_diff(first_divergence(a, b, "a", "b", context=2))
+        assert "traces diverge at record 3" in text
+        assert "shared context before divergence:" in text
+        assert "[1]" in text and "[2]" in text
+        assert "A[3]:" in text and "B[3]:" in text
+        assert "A continues:" in text
+
+    def test_truncated_side_rendered_as_ended(self):
+        a = [record(0), record(1)]
+        text = render_trace_diff(first_divergence(a, a[:1]))
+        assert "<no record: trace ended>" in text
+
+    def test_decision_records_get_factor_table(self):
+        a = [record(0, kind="decision", blocking=2, speedup=1.4, local=1)]
+        b = [record(0, kind="decision", blocking=3, speedup=1.4, local=1)]
+        text = render_trace_diff(first_divergence(a, b))
+        assert "decision factor scores:" in text
+        assert "blocking" in text
+        assert "<-- differs" in text
+        # Matching factors are listed without the marker.
+        speedup_line = next(l for l in text.splitlines() if "speedup" in l)
+        assert "differs" not in speedup_line
+
+    def test_factor_absent_on_one_side(self):
+        a = [record(0, kind="decision", blocking=2)]
+        b = [record(0, kind="decision", blocking=2, cache=0.5)]
+        text = render_trace_diff(first_divergence(a, b))
+        assert "<absent>" in text
+
+    def test_non_decision_divergence_has_no_factor_table(self):
+        a = [record(0, kind="dispatch", x=1)]
+        b = [record(0, kind="dispatch", x=2)]
+        assert "factor scores" not in render_trace_diff(first_divergence(a, b))

@@ -1,0 +1,146 @@
+"""SpanCollector contract: nesting, closing on all paths, drain handoff."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.spans import Span, SpanCollector, SpanEvent
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0, step: float = 1.0) -> None:
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def collector(**kwargs) -> SpanCollector:
+    kwargs.setdefault("clock", FakeClock())
+    return SpanCollector(actor="parent", trace_id="t1", **kwargs)
+
+
+class TestSpanRecording:
+    def test_context_manager_records_closed_span(self):
+        spans = collector()
+        with spans.span("outer", mix="Sync-1") as span:
+            assert span is not None
+        assert len(spans.spans) == 1
+        recorded = spans.spans[0]
+        assert recorded.name == "outer"
+        assert recorded.actor == "parent"
+        assert recorded.end_s is not None
+        assert recorded.duration_s == 1.0
+        assert recorded.args == {"mix": "Sync-1"}
+
+    def test_nested_spans_carry_parent_ids(self):
+        spans = collector()
+        with spans.span("outer") as outer:
+            with spans.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_siblings_share_parent(self):
+        spans = collector()
+        with spans.span("outer") as outer:
+            with spans.span("a") as a:
+                pass
+            with spans.span("b") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+
+    def test_span_closed_on_exception_path(self):
+        spans = collector()
+        with pytest.raises(RuntimeError):
+            with spans.span("doomed"):
+                raise RuntimeError("boom")
+        assert spans.spans[0].end_s is not None
+        assert spans.open_spans() == []
+
+    def test_manual_start_end_pair(self):
+        spans = collector()
+        span = spans.start_span("manual")
+        assert spans.open_spans() == [span]
+        spans.end_span(span)
+        assert spans.open_spans() == []
+
+    def test_out_of_order_close_tolerated(self):
+        spans = collector()
+        outer = spans.start_span("outer")
+        inner = spans.start_span("inner")
+        spans.end_span(outer)  # closes the non-top span
+        spans.end_span(inner)
+        assert spans.open_spans() == []
+
+    def test_events_record_current_time(self):
+        spans = collector()
+        spans.event("cache_hit", point="Sync-1/2B2S/colab")
+        assert len(spans.events) == 1
+        event = spans.events[0]
+        assert event.name == "cache_hit"
+        assert event.args == {"point": "Sync-1/2B2S/colab"}
+        assert event.time_s == 100.0
+
+
+class TestDisabledCollector:
+    def test_everything_is_a_noop(self):
+        spans = collector(enabled=False)
+        assert spans.start_span("x") is None
+        spans.end_span(None)
+        with spans.span("y") as handle:
+            assert handle is None
+        spans.event("z")
+        assert spans.spans == []
+        assert spans.events == []
+
+
+class TestDrain:
+    def test_drain_hands_off_and_clears(self):
+        spans = collector()
+        with spans.span("first"):
+            pass
+        spans.event("mark")
+        drained_spans, drained_events = spans.drain()
+        assert [s.name for s in drained_spans] == ["first"]
+        assert [e.name for e in drained_events] == ["mark"]
+        assert spans.spans == []
+        assert spans.events == []
+
+    def test_drain_between_points_keeps_ids_monotonic(self):
+        spans = collector()
+        with spans.span("a") as a:
+            pass
+        spans.drain()
+        with spans.span("b") as b:
+            pass
+        assert b.span_id > a.span_id
+
+
+class TestSerialisation:
+    def test_span_to_dict_roundtrips_json_fields(self):
+        span = Span(
+            name="run", actor="pid-7", span_id=3, parent_id=1,
+            start_s=1.0, end_s=2.5, args={"mix": "Sync-1"},
+        )
+        record = span.to_dict()
+        assert record["name"] == "run"
+        assert record["parent_id"] == 1
+        assert record["args"] == {"mix": "Sync-1"}
+
+    def test_event_to_dict_omits_empty_args(self):
+        record = SpanEvent(name="m", actor="parent", time_s=1.0).to_dict()
+        assert "args" not in record
+
+    def test_spans_pickle_for_pool_transport(self):
+        span = Span(
+            name="run", actor="pid-7", span_id=3, parent_id=None, start_s=1.0
+        )
+        clone = pickle.loads(pickle.dumps(span))
+        assert clone == span

@@ -99,6 +99,92 @@ class TestParallelSerialParity:
         assert gauges["parallel.worker.0.points"] >= 1.0
 
 
+def telemetry_for(points_count: int):
+    """A DistTelemetry with silent progress, for telemetry-enabled runs."""
+    from repro.obs.dist import DistTelemetry, SweepProgress
+
+    return DistTelemetry(
+        progress=SweepProgress(points_count, enabled=False)
+    )
+
+
+class TestSweepTelemetry:
+    """Telemetry is observational: identical results, richer outputs."""
+
+    def test_telemetry_enabled_jobs2_matches_plain_serial(self):
+        plain = run_sweep(pure_ctx())
+        telemetry = telemetry_for(12)
+        observed = run_sweep(pure_ctx(), jobs=2, telemetry=telemetry)
+        assert observed == plain
+        assert len(telemetry.bundles) == 12
+        assert telemetry.report()["points_executed"] == 12
+
+    def test_telemetry_enabled_jobs4_matches_plain_serial(self):
+        plain = run_sweep(pure_ctx())
+        telemetry = telemetry_for(12)
+        assert run_sweep(pure_ctx(), jobs=4, telemetry=telemetry) == plain
+
+    def test_jobs1_and_jobs4_timelines_agree_on_shape(self):
+        from repro.obs.dist import timeline_shape
+
+        one = telemetry_for(12)
+        run_sweep(pure_ctx(), jobs=1, telemetry=one)
+        four = telemetry_for(12)
+        run_sweep(pure_ctx(), jobs=4, telemetry=four)
+        assert timeline_shape(one.merged_timeline()) == timeline_shape(
+            four.merged_timeline()
+        )
+
+    def test_telemetry_reads_cache_entries_written_without_it(self, tmp_path):
+        # Bundles stay out of the fingerprint: a plain sweep's persistent
+        # cache fully serves a telemetry-enabled sweep, and vice versa.
+        plain = run_sweep(pure_ctx(cache_dir=tmp_path))
+        telemetry = telemetry_for(12)
+        warm_ctx = pure_ctx(cache_dir=tmp_path)
+        warm = run_sweep(warm_ctx, jobs=2, telemetry=telemetry)
+        assert warm == plain
+        report = telemetry.report()
+        assert report["points_from_cache"] == 12
+        assert report["points_executed"] == 0
+        assert report["cache_hit_ratio"] == 1.0
+
+    def test_bundles_carry_worker_counters_and_spans(self):
+        telemetry = telemetry_for(12)
+        run_sweep(pure_ctx(), jobs=2, telemetry=telemetry)
+        bundles = telemetry.bundles_in_point_order()
+        assert len(bundles) == 12
+        for bundle in bundles:
+            assert bundle.spans, "every executed point records its run span"
+            assert bundle.counters.get("sim.events_processed", 0) > 0
+        report = telemetry.report()
+        assert report["counters"]["sim.events_processed"] > 0
+        assert report["workers"], "at least one worker track"
+
+    def test_sweep_aggregates_into_context_registry(self):
+        ctx = pure_ctx()
+        telemetry = telemetry_for(12)
+        run_sweep(ctx, jobs=2, telemetry=telemetry)
+        snapshot = ctx.obs_metrics.snapshot()
+        assert snapshot["histograms"]["sweep.point_wall_s"]["count"] == 12
+        assert "sweep.cache_hit_ratio" in snapshot["gauges"]
+
+    def test_merged_timeline_json_roundtrips(self):
+        import json
+
+        telemetry = telemetry_for(12)
+        run_sweep(pure_ctx(), jobs=2, telemetry=telemetry)
+        document = json.loads(json.dumps(telemetry.merged_timeline()))
+        metadata = [
+            record for record in document["traceEvents"]
+            if record["ph"] == "M" and record["name"] == "process_name"
+        ]
+        assert any(
+            m["args"]["name"] == "sweep parent [orchestration]"
+            for m in metadata
+        )
+        assert document["otherData"]["workers"] >= 1
+
+
 class TestPersistentCacheParity:
     def test_cold_vs_warm_is_bit_identical(self, tmp_path):
         cold_ctx = pure_ctx(cache_dir=tmp_path)

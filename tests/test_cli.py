@@ -14,11 +14,35 @@ class TestParser:
         parser = build_parser()
         for command in (
             "train", "tables", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "summary", "run", "trace", "all",
+            "fig9", "summary", "run", "trace", "all", "sweep",
         ):
             args = parser.parse_args([command])
             assert args.command == command
             assert callable(args.func)
+        # Subcommands with required positionals.
+        for argv in (
+            ["sweep-report", "report.json"],
+            ["diff", "a.jsonl", "b.jsonl"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+            assert callable(args.func)
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["--jobs", "4", "sweep", "--mixes", "Sync-1", "--configs",
+             "2B2S", "--schedulers", "linux,colab",
+             "--timeline", "/tmp/t.json", "--report", "/tmp/r.json",
+             "--no-progress", "--sanitize"]
+        )
+        assert args.jobs == 4
+        assert args.mixes == "Sync-1"
+        assert args.configs == "2B2S"
+        assert args.schedulers == "linux,colab"
+        assert args.timeline == "/tmp/t.json"
+        assert args.report == "/tmp/r.json"
+        assert args.no_progress
+        assert args.sanitize
 
     def test_global_options(self):
         parser = build_parser()
@@ -118,7 +142,9 @@ class TestLintCommand:
     def test_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DET001", "DET002", "OBS001", "KERN001", "ERR001"):
+        for code in (
+            "DET001", "DET002", "OBS001", "OBS002", "KERN001", "ERR001",
+        ):
             assert code in out
 
     def test_repo_source_is_clean(self, capsys):
@@ -162,6 +188,73 @@ class TestSanitizedRunCommand:
         assert main(base + ["--sanitize", "--json", str(checked)]) == 0
         capsys.readouterr()
         assert json.loads(plain.read_text()) == json.loads(checked.read_text())
+
+
+class TestSweepCommand:
+    def test_sweep_writes_timeline_and_report(self, tmp_path, capsys):
+        timeline = tmp_path / "timeline.json"
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "--scale", "0.04", "--oracle", "--jobs", "2",
+                "sweep", "--mixes", "Sync-1", "--configs", "2B2S",
+                "--schedulers", "linux,colab",
+                "--timeline", str(timeline), "--report", str(report_path),
+                "--no-progress",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "H_ANTT" in stdout
+        assert "sweep report" in stdout
+
+        document = json.loads(timeline.read_text())
+        names = {
+            record["args"]["name"]
+            for record in document["traceEvents"]
+            if record["ph"] == "M" and record["name"] == "process_name"
+        }
+        assert "sweep parent [orchestration]" in names
+        assert any(name.startswith("worker 0") for name in names)
+
+        report = json.loads(report_path.read_text())
+        assert report["points_total"] == 2
+        assert report["points_executed"] + report["points_from_cache"] == 2
+        assert report["histograms"]["point_wall_s"]["count"] >= 0
+
+    def test_sweep_report_reads_back(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        main(
+            [
+                "--scale", "0.04", "--oracle",
+                "sweep", "--mixes", "Sync-1", "--configs", "2B2S",
+                "--schedulers", "linux",
+                "--timeline", str(tmp_path / "t.json"),
+                "--report", str(report_path), "--no-progress",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["sweep-report", str(report_path)]) == 0
+        assert "sweep report" in capsys.readouterr().out
+        assert main(["sweep-report", str(report_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["points_total"] == 1
+
+
+class TestDiffCommand:
+    def test_identical_traces_exit_zero(self, tmp_path, capsys):
+        trace = tmp_path / "a.jsonl"
+        trace.write_text('{"t": 1.0, "kind": "dispatch"}\n')
+        assert main(["diff", str(trace), str(trace)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_traces_exit_nonzero(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text('{"t": 1.0, "kind": "dispatch"}\n')
+        b.write_text('{"t": 2.0, "kind": "dispatch"}\n')
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "diverge at record 0" in capsys.readouterr().out
 
 
 class TestTraceCommand:

@@ -25,6 +25,36 @@ from repro.experiments.report import render_bars, render_figures
 from repro.experiments.runner import ExperimentContext
 
 
+def _ledger_path(args: argparse.Namespace):
+    """Explicit ledger path from ``--ledger-dir``, else ``None`` (default)."""
+    if getattr(args, "ledger_dir", None) is not None:
+        import pathlib
+
+        return pathlib.Path(args.ledger_dir) / "ledger.db"
+    return None
+
+
+def _open_ledger(args: argparse.Namespace):
+    """A :class:`repro.obs.ledger.Ledger`, or ``None`` when disabled.
+
+    A broken default ledger location degrades to a warning -- the run is
+    worth more than its record -- but an explicit ``--ledger-dir`` that
+    cannot be opened is a hard error.
+    """
+    if getattr(args, "no_ledger", False):
+        return None
+    from repro.errors import ExperimentError
+    from repro.obs.ledger import Ledger
+
+    try:
+        return Ledger(_ledger_path(args))
+    except ExperimentError:
+        if getattr(args, "ledger_dir", None) is not None:
+            raise
+        print("warning: run ledger unavailable, not recording", file=sys.stderr)
+        return None
+
+
 def _context(args: argparse.Namespace) -> ExperimentContext:
     cache_dir = None
     if not args.no_cache:
@@ -40,6 +70,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         use_learned_model=not args.oracle,
         jobs=args.jobs,
         cache_dir=cache_dir,
+        ledger=_open_ledger(args),
     )
 
 
@@ -169,7 +200,8 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     )
 
     document = to_chrome_trace(
-        result.events, metadata=result.trace_metadata, end_time=result.makespan
+        result.events, metadata=result.trace_metadata, end_time=result.makespan,
+        task_tracks=args.task_tracks,
     )
     with open(args.out, "w") as handle:
         json.dump(document, handle)
@@ -206,6 +238,168 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         f"pred-cache hits={counters.get('model.pred_cache.hits', 0):.0f}"
         f"/misses={counters.get('model.pred_cache.misses', 0):.0f}"
     )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Per-task time attribution + decision-quality report of one run."""
+    import json
+
+    from repro.obs.attribution import (
+        decision_quality,
+        link_decisions,
+        render_attribution,
+        render_decision_quality,
+    )
+
+    if args.run_id is not None:
+        # Report a previously recorded ledger row (stored attribution only;
+        # decision linkage needs the event stream, which is not persisted).
+        from repro.obs.ledger import Ledger
+
+        with Ledger(_ledger_path(args)) as ledger:
+            record = ledger.get_run(args.run_id)
+        attribution = record.get("attribution") or {}
+        if args.json:
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0
+        point = "/".join(
+            str(part)
+            for part in (record.get("mix"), record.get("config"),
+                         record.get("scheduler"))
+            if part
+        )
+        print(
+            f"ledger run {record['id']} ({record['kind']}) {point} "
+            f"recorded {record['recorded_at'][:19]}"
+        )
+        metrics = record.get("metrics", {})
+        print(
+            "  ".join(
+                f"{key}={value:.3f}"
+                for key, value in sorted(metrics.items())
+                if isinstance(value, (int, float))
+            )
+        )
+        if attribution:
+            print()
+            print(render_attribution(attribution, top=args.top))
+        else:
+            print("(no attribution summary recorded for this row)")
+        return 0
+
+    from repro.errors import ExperimentError
+    from repro.experiments.runner import run_mix_once
+    from repro.obs.context import ObsConfig
+    from repro.workloads.mixes import MIXES
+
+    ctx = _context(args)
+    mix = MIXES.get(args.mix)
+    if mix is None:
+        raise ExperimentError(f"unknown mix {args.mix!r}")
+    result = run_mix_once(
+        ctx, mix, args.config, args.scheduler, big_first=True,
+        obs=ObsConfig(trace=True), sanitize=args.sanitize,
+    )
+    linked = link_decisions(
+        result.events, metadata=result.trace_metadata, end_time=result.makespan
+    )
+    quality = decision_quality(linked)
+    if ctx.ledger is not None:
+        import sqlite3
+
+        try:
+            ctx.ledger.record_run(
+                mix=args.mix,
+                config=args.config,
+                scheduler=args.scheduler,
+                seed=ctx.seed,
+                work_scale=ctx.work_scale,
+                metrics={"makespan": result.makespan},
+                attribution=result.attribution,
+                extra={"decisions_linked": len(linked)},
+            )
+        except (sqlite3.Error, OSError):
+            pass
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "mix": args.mix,
+                    "config": args.config,
+                    "scheduler": args.scheduler,
+                    "makespan": result.makespan,
+                    "attribution": result.attribution,
+                    "decision_quality": quality,
+                    "decisions": linked,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"{args.scheduler} on {args.config}, mix {args.mix}: "
+        f"makespan={result.makespan:.1f}ms, {len(linked)} decisions linked"
+    )
+    print()
+    print(render_attribution(result.attribution, top=args.top))
+    print()
+    print(render_decision_quality(quality))
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    """Query the persistent run ledger (list/show/compare/trend)."""
+    import json
+
+    from repro.obs.ledger import Ledger, render_ledger_rows, render_trend
+
+    with Ledger(_ledger_path(args)) as ledger:
+        if args.ledger_command == "list":
+            rows = ledger.list_runs(
+                limit=args.limit, kind=args.kind, mix=args.mix,
+                config=args.config, scheduler=args.scheduler,
+            )
+            if args.json:
+                print(json.dumps(rows, indent=2, sort_keys=True))
+            else:
+                print(render_ledger_rows(rows))
+            return 0
+        if args.ledger_command == "show":
+            print(json.dumps(ledger.get_run(args.run_id), indent=2, sort_keys=True))
+            return 0
+        if args.ledger_command == "compare":
+            comparison = ledger.compare(args.id_a, args.id_b)
+            if args.json:
+                print(json.dumps(comparison, indent=2, sort_keys=True))
+                return 0
+            print(f"ledger row {args.id_a} -> row {args.id_b}")
+            for key, cell in sorted(comparison["metrics"].items()):
+                rel = (
+                    f"  ({(cell['ratio'] - 1.0) * 100.0:+.1f}%)"
+                    if cell["ratio"] is not None
+                    else ""
+                )
+                print(
+                    f"  {key:<24} {cell['a']:>12.3f} -> {cell['b']:>12.3f}{rel}"
+                )
+            if comparison["attribution_ms"]:
+                print("  attribution totals (ms):")
+                for state, cell in comparison["attribution_ms"].items():
+                    print(
+                        f"    {state:<18} {cell['a']:>12.1f} -> {cell['b']:>12.1f}"
+                    )
+            return 0
+        result = ledger.trend(
+            mix=args.mix, config=args.config, scheduler=args.scheduler,
+            metric=args.metric, history=args.history,
+            tolerance=args.tolerance, kind=args.kind,
+        )
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print(render_trend(result))
+        return 1 if result["regressed"] else 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
@@ -346,6 +540,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent on-disk result cache",
     )
     parser.add_argument(
+        "--ledger-dir",
+        default=None,
+        help="directory holding the append-only run ledger "
+        "(default: $REPRO_LEDGER_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record runs/sweep points in the run ledger",
+    )
+    parser.add_argument(
         "--bars",
         action="store_true",
         help="render figures as ASCII bar charts instead of tables",
@@ -436,7 +641,75 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under the scheduler sanitizer (schedsan)",
     )
+    trace.add_argument(
+        "--task-tracks",
+        action="store_true",
+        help="also emit one attribution-state annotation track per task "
+        "(a second 'tasks' process in the Perfetto view)",
+    )
     trace.set_defaults(func=_cmd_trace)
+    report = sub.add_parser(
+        "report",
+        help="per-task time attribution + decision-quality report of one "
+        "run (fresh traced run, or a recorded ledger row by id)",
+    )
+    report.add_argument(
+        "run_id", nargs="?", type=int, default=None,
+        help="ledger row id to report instead of running fresh",
+    )
+    report.add_argument("--mix", default="Sync-2", help="Table 4 mix index")
+    report.add_argument("--config", default="2B2S", help="2B2S/2B4S/4B2S/4B4S")
+    report.add_argument(
+        "--scheduler", default="colab", help="linux/wash/colab/gts"
+    )
+    report.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="tasks to show in the attribution table",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    report.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the scheduler sanitizer (schedsan)",
+    )
+    report.set_defaults(func=_cmd_report)
+    ledger_cmd = sub.add_parser(
+        "ledger", help="query the append-only run ledger"
+    )
+    ledger_sub = ledger_cmd.add_subparsers(dest="ledger_command", required=True)
+    ledger_list = ledger_sub.add_parser("list", help="recent ledger rows")
+    ledger_list.add_argument("--limit", type=int, default=20)
+    ledger_list.add_argument("--kind", default=None, help="run/sweep-point/bench")
+    ledger_list.add_argument("--mix", default=None)
+    ledger_list.add_argument("--config", default=None)
+    ledger_list.add_argument("--scheduler", default=None)
+    ledger_list.add_argument("--json", action="store_true")
+    ledger_list.set_defaults(func=_cmd_ledger)
+    ledger_show = ledger_sub.add_parser("show", help="one row as JSON")
+    ledger_show.add_argument("run_id", type=int, help="ledger row id")
+    ledger_show.set_defaults(func=_cmd_ledger)
+    ledger_compare = ledger_sub.add_parser(
+        "compare", help="metric + attribution deltas between two rows"
+    )
+    ledger_compare.add_argument("id_a", type=int)
+    ledger_compare.add_argument("id_b", type=int)
+    ledger_compare.add_argument("--json", action="store_true")
+    ledger_compare.set_defaults(func=_cmd_ledger)
+    ledger_trend = ledger_sub.add_parser(
+        "trend",
+        help="judge the latest point of a (mix, config, scheduler) group "
+        "against the median of its history (exit 1 on regression)",
+    )
+    ledger_trend.add_argument("--mix", default=None)
+    ledger_trend.add_argument("--config", default=None)
+    ledger_trend.add_argument("--scheduler", default=None)
+    ledger_trend.add_argument("--metric", default="makespan")
+    ledger_trend.add_argument("--history", type=int, default=5)
+    ledger_trend.add_argument("--tolerance", type=float, default=0.10)
+    ledger_trend.add_argument("--kind", default=None)
+    ledger_trend.add_argument("--json", action="store_true")
+    ledger_trend.set_defaults(func=_cmd_ledger)
     sweep_cmd = sub.add_parser(
         "sweep",
         help="telemetry-enabled sweep: merged multi-process timeline, "

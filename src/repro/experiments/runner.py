@@ -162,6 +162,13 @@ class ExperimentContext:
     #: processes get their own collector (built by the pool initializer),
     #: never the parent's.
     spans: object | None = field(default=None, repr=False)
+    #: Optional append-only run ledger (:class:`repro.obs.ledger.Ledger`).
+    #: When set, :func:`sweep` (serial and parallel) records every
+    #: evaluated point.  Recording happens strictly after results exist
+    #: and the field is excluded from cache fingerprints
+    #: (``TELEMETRY_EXCLUDED_FIELDS``), so results are bit-identical with
+    #: or without a ledger attached.
+    ledger: object | None = field(default=None, repr=False)
     _run_cache: "BoundedCache[RunKey, RunResult]" = field(
         init=False, repr=False
     )
@@ -412,9 +419,35 @@ def sweep(
             sanitize=sanitize,
             telemetry=telemetry,
         )
-    return [
-        evaluate_mix(ctx, mix_index, config, scheduler, sanitize=sanitize)
-        for mix_index in mix_indices
-        for config in configs
-        for scheduler in schedulers
-    ]
+    if ctx.ledger is None:
+        return [
+            evaluate_mix(ctx, mix_index, config, scheduler, sanitize=sanitize)
+            for mix_index in mix_indices
+            for config in configs
+            for scheduler in schedulers
+        ]
+    import time as _time
+
+    from repro.obs.ledger import record_point
+
+    results: list[MixMetrics] = []
+    for mix_index in mix_indices:
+        for config in configs:
+            for scheduler in schedulers:
+                cache_hit = (
+                    not sanitize
+                    and ctx.peek_metrics(mix_index, config, scheduler) is not None
+                )
+                started = _time.perf_counter()
+                metrics = evaluate_mix(
+                    ctx, mix_index, config, scheduler, sanitize=sanitize
+                )
+                record_point(
+                    ctx.ledger,
+                    ctx,
+                    metrics,
+                    wall_s=_time.perf_counter() - started,
+                    cache_hit=cache_hit,
+                )
+                results.append(metrics)
+    return results

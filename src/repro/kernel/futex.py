@@ -72,11 +72,18 @@ class FutexTable:
         self.total_wakes: int = 0
         self._tracer = obs.tracer if obs is not None else None
         self._sanitizer = sanitizer
+        #: Attribution accounting (set via :meth:`attach_attribution`);
+        #: the wait side bumps the per-task futex-park counter there.
+        self._attribution = None
         self._wait_hist = (
             obs.metrics.histogram("futex.wait_ms")
             if obs is not None and obs.metrics.enabled
             else None
         )
+
+    def attach_attribution(self, accounting) -> None:
+        """Count futex parks per task (attribution wiring; always cheap)."""
+        self._attribution = accounting
 
     # ------------------------------------------------------------------
     # Wait side (futex_wait_queue_me analogue)
@@ -106,6 +113,8 @@ class FutexTable:
         )
         self.total_waits += 1
         self.waits_by_kind[kind] = self.waits_by_kind.get(kind, 0) + 1
+        if self._attribution is not None:
+            self._attribution.note_futex_wait(task)
         if self._tracer is not None and self._tracer.enabled:
             self._tracer.emit(
                 now, EventKind.FUTEX_WAIT, tid=task.tid, name=task.name,

@@ -49,6 +49,12 @@ class RunQueue:
         #: Runtime sanitizer (:class:`repro.sanitize.SchedSanitizer`),
         #: installed by the machine when ``sanitize=True`` (None otherwise).
         self._sanitizer = None
+        #: Attribution accounting (:class:`repro.obs.attribution.
+        #: AttributionAccounting`) + the queue's runnable-state code and a
+        #: clock; installed by the machine when attribution is on.
+        self._attribution = None
+        self._attr_state = 0
+        self._attr_clock = None
 
     def attach_depth_tracker(self, clock, tracker) -> None:
         """Publish queue-depth changes into ``tracker`` (obs wiring).
@@ -64,6 +70,21 @@ class RunQueue:
     def attach_sanitizer(self, sanitizer) -> None:
         """Validate every mutation through ``sanitizer`` (schedsan wiring)."""
         self._sanitizer = sanitizer
+
+    def attach_attribution(self, clock, accounting, runnable_state: int) -> None:
+        """Record runnable-state transitions on enqueue (attribution wiring).
+
+        Args:
+            clock: Zero-argument callable returning simulated time.
+            accounting: The machine's single
+                :class:`repro.obs.attribution.AttributionAccounting`.
+            runnable_state: The state code every task entering this queue
+                transitions into (``RUNNABLE_BIG`` / ``RUNNABLE_LITTLE``,
+                fixed by the owning core's kind).
+        """
+        self._attr_clock = clock
+        self._attribution = accounting
+        self._attr_state = runnable_state
 
     # ------------------------------------------------------------------
     # Size / iteration
@@ -103,6 +124,8 @@ class RunQueue:
         self._nodes[task.tid] = self._tree.insert(key, task)
         self._by_tid[task.tid] = task
         task.rq_core_id = self.core_id
+        if self._attribution is not None:
+            self._attribution.transition(task, self._attr_state, self._attr_clock())
         if self._depth_tracker is not None:
             self._depth_tracker.update(self._clock(), len(self._by_tid))
         if self._sanitizer is not None:

@@ -122,6 +122,9 @@ class Task:
         "spawn_time",
         "finish_time",
         "counters",
+        "attr_ms",
+        "attr_since",
+        "attr_state",
         "_profile_speedup",
     )
 
@@ -203,6 +206,12 @@ class Task:
 
         # Filled in by the machine at registration time.
         self.counters: "PerformanceCounters | None" = None
+
+        # The attribution timeline slots (attr_ms / attr_since / attr_state)
+        # are deliberately NOT initialised here: every write to them goes
+        # through repro.obs.attribution.AttributionAccounting (the machine
+        # calls begin() when the task first wakes), and lint rule OBS003
+        # rejects writes anywhere else.  Readers use getattr with a default.
 
         #: ``profile.speedup()`` memo, primed by the machine at task
         #: registration when the hot path is enabled.  The profile is

@@ -17,6 +17,17 @@ or from the command line with ``colab-repro trace ...``, which writes a
 Perfetto-loadable Chrome trace plus a metrics JSON for one run.
 """
 
+from repro.obs.attribution import (
+    ATTRIBUTION_SCHEMA_VERSION,
+    STATE_NAMES,
+    AttributionAccounting,
+    decision_quality,
+    link_decisions,
+    render_attribution,
+    render_decision_quality,
+    summarize_attribution,
+    task_state_slices,
+)
 from repro.obs.context import Observability, ObsConfig
 from repro.obs.diff import (
     TraceDiff,
@@ -39,6 +50,15 @@ from repro.obs.exporters import (
     to_jsonl,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.ledger import (
+    LEDGER_DIR_ENV,
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    default_ledger_path,
+    record_point,
+    render_ledger_rows,
+    render_trend,
 )
 from repro.obs.log import configure, get_logger
 from repro.obs.metrics import (
@@ -64,11 +84,16 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "ATTRIBUTION_SCHEMA_VERSION",
+    "AttributionAccounting",
     "Counter",
     "DistTelemetry",
     "EventKind",
     "Gauge",
     "Histogram",
+    "LEDGER_DIR_ENV",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
     "MetricsRegistry",
     "Observability",
     "ObsConfig",
@@ -77,6 +102,7 @@ __all__ = [
     "REPORT_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "SPAN_SCHEMA_VERSION",
+    "STATE_NAMES",
     "Span",
     "SpanCollector",
     "SpanEvent",
@@ -86,14 +112,24 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "configure",
+    "decision_quality",
+    "default_ledger_path",
     "diff_trace_files",
     "dispatch_slices",
     "first_divergence",
     "get_logger",
+    "link_decisions",
     "merged_sweep_trace",
     "point_label",
+    "record_point",
+    "render_attribution",
+    "render_decision_quality",
+    "render_ledger_rows",
     "render_sweep_report",
     "render_trace_diff",
+    "render_trend",
+    "summarize_attribution",
+    "task_state_slices",
     "timeline_shape",
     "to_chrome_trace",
     "to_jsonl",

@@ -128,9 +128,15 @@ class SweepProgress:
             f"elapsed {elapsed:.1f}s",
         ]
         if 0 < done < self.total:
-            # ETA from the running mean seconds-per-point so far.
-            eta = elapsed / done * (self.total - done)
-            parts.append(f"eta {eta:.1f}s")
+            if elapsed > 0.0:
+                # ETA from the running mean seconds-per-point so far.
+                eta = elapsed / done * (self.total - done)
+                parts.append(f"eta {eta:.1f}s")
+            else:
+                # All done work completed within clock resolution: the
+                # mean seconds-per-point is indistinguishable from zero,
+                # so any extrapolation would be garbage.
+                parts.append("eta --")
         if stragglers:
             shown = ", ".join(point_label(p) for p in stragglers[:2])
             extra = len(stragglers) - 2

@@ -66,6 +66,7 @@ def to_chrome_trace(
     events: list[TraceEvent],
     metadata: dict | None = None,
     end_time: float | None = None,
+    task_tracks: bool = False,
 ) -> dict:
     """Build a Chrome ``trace_event`` document from a typed event stream.
 
@@ -76,6 +77,10 @@ def to_chrome_trace(
             ``topology``.
         end_time: Timestamp closing still-running slices (the makespan).
             Defaults to the last event's timestamp.
+        task_tracks: Also emit one annotation track per task (a second
+            "tasks" process) whose slices are the task's attribution
+            states -- running/runnable/blocked -- reconstructed from the
+            event stream (:func:`repro.obs.attribution.task_state_slices`).
 
     Returns:
         ``{"traceEvents": [...], "displayTimeUnit": "ms", ...}`` -- JSON
@@ -164,6 +169,11 @@ def to_chrome_trace(
             }
         )
 
+    if task_tracks:
+        trace_events.extend(
+            _task_state_records(events, metadata, end_time)
+        )
+
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -178,14 +188,89 @@ def to_chrome_trace(
     }
 
 
+#: Document pid of the per-task state-annotation process.
+_TASK_TRACK_PID = 1
+
+
+def _task_state_records(
+    events: list[TraceEvent], metadata: dict, end_time: float
+) -> list[dict]:
+    """Per-task attribution-state annotation tracks (pid 1, "tasks")."""
+    from repro.obs.attribution import task_state_slices
+
+    slices = task_state_slices(events, metadata=metadata, end_time=end_time)
+    if not slices:
+        return []
+    records: list[dict] = [
+        {
+            "ph": _PH_METADATA,
+            "name": "process_name",
+            "pid": _TASK_TRACK_PID,
+            "tid": 0,
+            "args": {"name": "tasks [attribution states]"},
+        },
+        {
+            "ph": _PH_METADATA,
+            "name": "process_sort_index",
+            "pid": _TASK_TRACK_PID,
+            "tid": 0,
+            "args": {"sort_index": _TASK_TRACK_PID},
+        },
+    ]
+    named: set[int] = set()
+    for start, end, tid, task_name, state in slices:
+        if tid not in named:
+            named.add(tid)
+            records.append(
+                {
+                    "ph": _PH_METADATA,
+                    "name": "thread_name",
+                    "pid": _TASK_TRACK_PID,
+                    "tid": tid,
+                    "args": {"name": task_name},
+                }
+            )
+            records.append(
+                {
+                    "ph": _PH_METADATA,
+                    "name": "thread_sort_index",
+                    "pid": _TASK_TRACK_PID,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        records.append(
+            {
+                "ph": _PH_COMPLETE,
+                "name": state,
+                "cat": "state",
+                "pid": _TASK_TRACK_PID,
+                "tid": tid,
+                "ts": _ms_to_us(start),
+                "dur": max(0.0, _ms_to_us(end - start)),
+                "args": {"tid": tid, "task": task_name},
+            }
+        )
+    return records
+
+
 def write_chrome_trace(
     events: list[TraceEvent],
     handle: IO[str],
     metadata: dict | None = None,
     end_time: float | None = None,
+    task_tracks: bool = False,
 ) -> None:
     """Serialise :func:`to_chrome_trace` output to ``handle``."""
-    json.dump(to_chrome_trace(events, metadata=metadata, end_time=end_time), handle)
+    json.dump(
+        to_chrome_trace(
+            events,
+            metadata=metadata,
+            end_time=end_time,
+            task_tracks=task_tracks,
+        ),
+        handle,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -246,6 +246,7 @@ def parallel_sweep(
             telemetry.aggregate_into(registry)
             if telemetry.progress is not None:
                 telemetry.progress.finish()
+        _record_ledger(ctx, points, results, {}, sanitize)
         return [results[point] for point in points]
 
     # Train (or reuse) the model once in the parent; workers rebuild it
@@ -298,9 +299,11 @@ def parallel_sweep(
                 outcomes = (
                     (point, future.result()) for point, future in submitted
                 )
+            point_wall: dict[tuple[str, str, str], float] = {}
             for point, outcome in outcomes:
                 metrics, pid, seconds, bundle = outcome
                 results[point] = metrics
+                point_wall[point] = seconds
                 busy_s[pid] = busy_s.get(pid, 0.0) + seconds
                 points_by_pid[pid] = points_by_pid.get(pid, 0) + 1
                 if telemetry is not None and bundle is not None:
@@ -340,4 +343,31 @@ def parallel_sweep(
             registry.gauge(f"parallel.worker.{index}.utilization").set(
                 busy_s[pid] / elapsed
             )
+    _record_ledger(ctx, points, results, point_wall, sanitize)
     return [results[point] for point in points]
+
+
+def _record_ledger(
+    ctx: ExperimentContext,
+    points: list[tuple[str, str, str]],
+    results: dict[tuple[str, str, str], MixMetrics],
+    point_wall: dict[tuple[str, str, str], float],
+    sanitize: bool,
+) -> None:
+    """Append every evaluated point to the context's ledger (if any).
+
+    Runs strictly after the merge, in evaluation-point order; the ledger
+    never touches results, caches, or fingerprints.
+    """
+    if ctx.ledger is None:
+        return
+    from repro.obs.ledger import record_point
+
+    for point in points:
+        record_point(
+            ctx.ledger,
+            ctx,
+            results[point],
+            wall_s=point_wall.get(point),
+            cache_hit=None if sanitize else point not in point_wall,
+        )

@@ -44,8 +44,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 SCHEMA_VERSION = 1
 
 #: Context/sweep state that must never appear in key material or cached
-#: payloads: telemetry describes an execution, not an outcome.
-TELEMETRY_EXCLUDED_FIELDS = ("spans", "obs_metrics", "telemetry")
+#: payloads: telemetry describes an execution, not an outcome.  The run
+#: ledger is recording-only in the same sense -- it observes results
+#: after they exist and can never influence them.
+TELEMETRY_EXCLUDED_FIELDS = ("spans", "obs_metrics", "telemetry", "ledger")
 
 _SOURCE_HASH: str | None = None
 

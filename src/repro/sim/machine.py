@@ -39,6 +39,16 @@ from repro.errors import SchedulerError, SimulationError
 from repro.kernel.futex import FutexTable
 from repro.kernel.runqueue import RunQueue
 from repro.kernel.task import Task, TaskState
+from repro.obs.attribution import (
+    BLOCKED_FUTEX,
+    BLOCKED_SLEEP,
+    RUNNABLE_BIG,
+    RUNNABLE_LITTLE,
+    RUNNING_BIG,
+    RUNNING_LITTLE,
+    AttributionAccounting,
+    summarize_attribution,
+)
 from repro.obs.context import Observability, ObsConfig
 from repro.obs.tracer import EventKind as TraceKind
 from repro.obs.tracer import TraceEvent
@@ -108,6 +118,12 @@ class MachineConfig:
     #: bit-identical with this on or off (the parity benchmark asserts
     #: it); ``False`` selects the reference path for A/B comparison.
     hotpath: bool = True
+    #: Per-task time-state attribution (:mod:`repro.obs.attribution`):
+    #: cheap always-on counters decomposing each task's turnaround into
+    #: running/runnable/blocked/migrating time.  Same contract as the
+    #: ``events_processed`` counters -- outside :func:`repro.sim.digest.
+    #: run_digest`, so runs are bit-identical with this on or off.
+    attribution: bool = True
 
 
 @dataclass(slots=True)
@@ -165,6 +181,12 @@ class RunResult:
     events_processed: int = 0
     events_discarded: int = 0
     events_suppressed: int = 0
+    #: Per-task time-state attribution summary
+    #: (:func:`repro.obs.attribution.summarize_attribution`); empty when
+    #: the run disabled attribution.  Like the event counters above, this
+    #: is deliberately outside :func:`repro.sim.digest.run_digest` and the
+    #: persistent-cache fingerprints.
+    attribution: dict = field(default_factory=dict)
 
     def turnaround_of(self, app_name: str) -> float:
         """Turnaround of the (unique) application called ``app_name``."""
@@ -205,6 +227,9 @@ class Machine:
 
             self._sanitizer = SchedSanitizer(tracer=self._tracer)
             self.engine.sanitizer = self._sanitizer
+        self._attr: AttributionAccounting | None = (
+            AttributionAccounting() if self.config.attribution else None
+        )
         self.cores: list[Core] = topology.build_cores()
         for core in self.cores:
             core.rq = RunQueue(core.core_id)
@@ -216,9 +241,17 @@ class Machine:
                 )
             if self._sanitizer is not None:
                 core.rq.attach_sanitizer(self._sanitizer)
+            if self._attr is not None:
+                core.rq.attach_attribution(
+                    lambda: self.engine.now,
+                    self._attr,
+                    RUNNABLE_BIG if core.is_big else RUNNABLE_LITTLE,
+                )
         self.big_cores = [c for c in self.cores if c.kind is CoreKind.BIG]
         self.little_cores = [c for c in self.cores if c.kind is CoreKind.LITTLE]
         self.futexes = FutexTable(obs=self.obs, sanitizer=self._sanitizer)
+        if self._attr is not None:
+            self.futexes.attach_attribution(self._attr)
         self.rng = np.random.default_rng(self.config.seed)
         self.scheduler = scheduler
         scheduler.attach(self)
@@ -534,6 +567,10 @@ class Machine:
         task.last_core_id = core.core_id
 
         task.mark_running(core.core_id, core.kind.value)
+        if self._attr is not None:
+            self._attr.transition(
+                task, RUNNING_BIG if core.is_big else RUNNING_LITTLE, now
+            )
         core.current = task
         core.run_started = now
         core.bump_version()
@@ -677,6 +714,17 @@ class Machine:
             by_scale = stats.setdefault("busy_by_scale", {})
             scale = core.freq_scale
             by_scale[scale] = by_scale.get(scale, 0.0) + elapsed
+            if self._attr is not None:
+                # attr_since tracks core.run_started, so this window is
+                # exactly ``elapsed``: penalty share -> migrating, rest ->
+                # running on this core kind.
+                self._attr.on_exec(
+                    task,
+                    RUNNING_BIG if core.is_big else RUNNING_LITTLE,
+                    elapsed,
+                    penalty_used,
+                    now,
+                )
         core.run_started = now
         rq = core.rq
         if rq is not None:
@@ -692,6 +740,8 @@ class Machine:
             task.blocked_action = None
             if isinstance(action, PipeGet):
                 task.pending_result = action.pipe.collect_delivery(task)
+        if is_new and self._attr is not None:
+            self._attr.begin(task, now)
         task.mark_ready()
         if self._profiler.enabled:
             started = self._profiler.start()
@@ -816,6 +866,13 @@ class Machine:
             if status == "blocked":
                 task.blocked_action = action
                 task.mark_sleeping()
+                if self._attr is not None:
+                    self._attr.transition(
+                        task,
+                        BLOCKED_SLEEP if isinstance(action, Sleep)
+                        else BLOCKED_FUTEX,
+                        now,
+                    )
                 core.current = None
                 core.bump_version()
                 if self._tracer.enabled:
@@ -923,6 +980,8 @@ class Machine:
 
     def _finish_task(self, task: Task, core: Core, now: float) -> None:
         task.mark_done(now)
+        if self._attr is not None:
+            self._attr.on_done(task, now)
         core.current = None
         core.bump_version()
         if self._tracer.enabled:
@@ -990,6 +1049,11 @@ class Machine:
             events_processed=self.engine.processed,
             events_discarded=self.engine.discarded,
             events_suppressed=self._suppressed,
+            attribution=(
+                summarize_attribution(self.tasks, self._attr)
+                if self._attr is not None
+                else {}
+            ),
         )
 
     def _snapshot_metrics(self, makespan: float) -> dict:

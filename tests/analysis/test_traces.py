@@ -135,3 +135,59 @@ class TestExport:
         assert payload["count"] == 2
         assert payload["points"][0]["mix"] == "Sync-1"
         assert payload["points"][1]["scheduler"] == "colab"
+
+
+class TestEdgeCases:
+    """Empty, zero-duration, and single-task runs (satellite coverage)."""
+
+    @staticmethod
+    def empty_result(makespan=0.0):
+        """A structurally valid zero-duration result (machines refuse to
+        run without tasks, so the edge case is built directly)."""
+        from repro.sim.machine import RunResult
+
+        return RunResult(
+            topology_name="2B2S", scheduler_name="linux", makespan=makespan,
+            app_turnaround={}, app_names={}, tasks=[], scheduler_stats=None,
+            total_context_switches=0, total_migrations=0, core_busy_time={},
+        )
+
+    def test_core_utilization_zero_duration_run_rejected(self):
+        with pytest.raises(ExperimentError):
+            core_utilization(self.empty_result(makespan=0.0))
+
+    def test_migration_summary_empty_run(self):
+        summary = migration_summary(self.empty_result())
+        assert summary.total == 0
+        assert summary.per_app == {}
+        assert summary.most_migrated_task == ""
+        assert summary.most_migrated_count == 0
+
+    def test_single_task_run_utilization_bounded(self):
+        machine = make_machine(1, 1, **FREE)
+        machine.add_task(make_simple_task("solo", work=5.0))
+        result = machine.run()
+        utilization = core_utilization(result)
+        assert set(utilization) == {0, 1}
+        for value in utilization.values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+        # One task, one core: the other core never runs anything.
+        assert min(utilization.values()) == 0.0
+
+    def test_single_task_migration_summary(self):
+        machine = make_machine(1, 1, **FREE)
+        machine.add_task(make_simple_task("solo", work=5.0), app_name="app")
+        result = machine.run()
+        summary = migration_summary(result)
+        assert summary.per_app == {"app": summary.most_migrated_count}
+        assert summary.most_migrated_task == "solo"
+        assert summary.total == summary.most_migrated_count
+
+    def test_occupancy_rows_single_task(self):
+        machine = make_machine(1, 0, trace=True, **FREE)
+        machine.add_task(make_simple_task("solo", work=5.0))
+        result = machine.run()
+        tid_to_app = {t.tid: t.app_id for t in machine.tasks}
+        rows = occupancy_rows(result, tid_to_app, n_cores=1, buckets=8)
+        assert set(rows) == {0}
+        assert any(cell is not None for cell in rows[0])

@@ -273,3 +273,23 @@ class TestTraceId:
         telemetry.begin(POINTS, jobs=2)
         assert telemetry.trace_id == "abc123"
         assert telemetry.parent.trace_id == "abc123"
+
+
+class TestProgressEtaGuard:
+    def test_zero_elapsed_renders_eta_placeholder(self):
+        stream = io.StringIO()
+        progress = SweepProgress(
+            4, stream=stream, clock=FakeClock(start=0.0, step=0.0),
+            min_interval_s=0.0,
+        )
+        line = progress.line(2)
+        assert "eta --" in line
+        assert "eta 0.0s" not in line
+
+    def test_nonzero_elapsed_still_extrapolates(self):
+        stream = io.StringIO()
+        progress = SweepProgress(
+            4, stream=stream, clock=FakeClock(start=0.0, step=1.0),
+            min_interval_s=0.0,
+        )
+        assert "eta 1.0s" in progress.line(2)

@@ -111,3 +111,69 @@ class TestChromeTrace:
             write_chrome_trace(result.events, handle)
         decoded = json.loads(path.read_text())
         assert decoded["traceEvents"]
+
+
+class TestTaskTracks:
+    def document(self, task_tracks=True):
+        _machine, result = traced_result()
+        return to_chrome_trace(
+            result.events,
+            metadata=result.trace_metadata,
+            end_time=result.makespan,
+            task_tracks=task_tracks,
+        ), result
+
+    def test_default_export_has_no_task_process(self):
+        document, _result = self.document(task_tracks=False)
+        assert all(e["pid"] == 0 for e in document["traceEvents"])
+
+    def test_task_tracks_add_a_second_process(self):
+        document, _result = self.document()
+        names = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert any("tasks" in name for name in names)
+
+    def test_one_named_thread_per_task(self):
+        document, result = self.document()
+        task_tids = {
+            e.tid for e in result.events
+            if e.kind is EventKind.DISPATCH
+        }
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+        }
+        assert set(thread_names) == task_tids
+        assert all(name.startswith("t") for name in thread_names.values())
+
+    def test_state_slices_stay_inside_the_run(self):
+        from repro.obs.attribution import STATE_NAMES
+
+        document, result = self.document()
+        slices = [
+            e for e in document["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == 1
+        ]
+        assert slices
+        for entry in slices:
+            assert entry["cat"] == "state"
+            assert entry["name"] in STATE_NAMES
+            assert entry["ts"] >= 0.0 and entry["dur"] >= 0.0
+            assert entry["ts"] + entry["dur"] <= result.makespan * 1000 + 1e-6
+
+    def test_write_chrome_trace_passes_task_tracks(self, tmp_path):
+        _machine, result = traced_result()
+        path = tmp_path / "trace.json"
+        with open(path, "w") as handle:
+            write_chrome_trace(
+                result.events, handle,
+                metadata=result.trace_metadata,
+                end_time=result.makespan,
+                task_tracks=True,
+            )
+        decoded = json.loads(path.read_text())
+        assert any(e["pid"] == 1 for e in decoded["traceEvents"])

@@ -313,3 +313,46 @@ class TestContextFields:
         clone = dataclasses.replace(ctx, seed=99)
         assert clone.seed == 99
         assert clone._metrics_cache is not ctx._metrics_cache
+
+
+class TestLedgerRecording:
+    def ledger(self, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        return Ledger(tmp_path / "ledger.db")
+
+    def test_parallel_sweep_records_every_point(self, tmp_path):
+        with self.ledger(tmp_path) as ledger:
+            ctx = pure_ctx(ledger=ledger)
+            results = run_sweep(ctx, jobs=2)
+            rows = ledger.list_runs(limit=100)
+            assert len(rows) == len(results)
+            recorded = {
+                (row["mix"], row["config"], row["scheduler"])
+                for row in rows
+            }
+            assert recorded == {
+                (m.mix_index, m.config, m.scheduler) for m in results
+            }
+            assert all(row["cache_hit"] is False for row in rows)
+
+    def test_ledger_does_not_change_sweep_results(self, tmp_path):
+        plain = run_sweep(pure_ctx(), jobs=2)
+        with self.ledger(tmp_path) as ledger:
+            recorded = run_sweep(pure_ctx(ledger=ledger), jobs=2)
+        assert recorded == plain
+
+    def test_warm_cache_points_marked_as_hits(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_sweep(pure_ctx(cache_dir=cache_dir), jobs=2)  # warm the cache
+        with self.ledger(tmp_path) as ledger:
+            warm_ctx = pure_ctx(cache_dir=cache_dir, ledger=ledger)
+            results = run_sweep(warm_ctx, jobs=2)
+            rows = ledger.list_runs(limit=100)
+            assert len(rows) == len(results)
+            assert all(row["cache_hit"] is True for row in rows)
+
+    def test_ledger_handle_excluded_from_fingerprints(self):
+        from repro.parallel.fingerprint import TELEMETRY_EXCLUDED_FIELDS
+
+        assert "ledger" in TELEMETRY_EXCLUDED_FIELDS

@@ -290,3 +290,112 @@ class TestTraceCommand:
         assert "core.0.utilization" in snapshot["gauges"]
         assert "rq.mean_depth" in snapshot["gauges"]
         assert "futex.total_wait_ms" in snapshot["gauges"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test directory, never the real one."""
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+
+class TestReportCommand:
+    BASE = ["--scale", "0.05", "--oracle", "--no-cache"]
+    POINT = ["--mix", "Sync-1", "--config", "2B2S", "--scheduler", "colab"]
+
+    def test_fresh_report_renders_attribution_and_quality(self, capsys):
+        code = main(self.BASE + ["report"] + self.POINT)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "running_big" in out
+        assert "decisions linked" in out
+        assert "colab_pick" in out
+
+    def test_json_report_states_sum_to_turnaround(self, capsys):
+        code = main(self.BASE + ["report"] + self.POINT + ["--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"] == "colab"
+        assert payload["attribution"]["tasks"]
+        for row in payload["attribution"]["tasks"]:
+            total = sum(row["state_ms"].values())
+            assert total == pytest.approx(row["turnaround_ms"], abs=1e-6)
+        assert payload["decision_quality"]
+
+    def test_report_by_recorded_ledger_id(self, capsys):
+        assert main(self.BASE + ["report"] + self.POINT) == 0
+        capsys.readouterr()
+        assert main(["report", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ledger run 1" in out
+        assert "running_big" in out
+
+
+class TestLedgerCommands:
+    RUN = [
+        "--scale", "0.05", "--oracle", "--no-cache",
+        "run", "--mix", "Sync-1", "--config", "2B2S",
+        "--schedulers", "colab",
+    ]
+    TREND = [
+        "ledger", "trend", "--mix", "Sync-1", "--config", "2B2S",
+        "--scheduler", "colab",
+    ]
+
+    def test_runs_record_and_trend_judges(self, capsys):
+        for _ in range(3):
+            assert main(self.RUN) == 0
+        capsys.readouterr()
+        assert main(["ledger", "list"]) == 0
+        assert "sweep-point" in capsys.readouterr().out
+        assert main(self.TREND) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "REGRESSED" not in out
+
+    def test_trend_exits_nonzero_on_injected_regression(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.ledger import Ledger
+
+        with Ledger(tmp_path / "ledger" / "ledger.db") as ledger:
+            for makespan in (10.0, 10.1, 9.9, 13.5):
+                ledger.record_run(
+                    mix="Sync-1", config="2B2S", scheduler="colab",
+                    metrics={"makespan": makespan},
+                )
+        assert main(self.TREND) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_show_and_compare(self, capsys):
+        for _ in range(2):
+            assert main(self.RUN) == 0
+        capsys.readouterr()
+        assert main(["ledger", "show", "1"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["scheduler"] == "colab"
+        assert main(["ledger", "compare", "1", "2"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_no_ledger_flag_disables_recording(self, capsys):
+        assert main(["--no-ledger"] + self.RUN[:4] + self.RUN[4:]) == 0
+        capsys.readouterr()
+        assert main(["ledger", "list"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestTraceTaskTracks:
+    def test_trace_emits_task_state_process(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "--scale", "0.05", "--oracle", "--no-cache",
+                "trace", "--mix", "Sync-1", "--config", "2B2S",
+                "--scheduler", "colab", "--out", str(out), "--task-tracks",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        task_records = [
+            r for r in document["traceEvents"] if r.get("pid") == 1
+        ]
+        assert any(r["ph"] == "X" for r in task_records)

@@ -479,9 +479,63 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
     report = lint_paths(args.paths)
     if args.format == "json":
-        print(render_json(report))
+        print(render_json(report, tool="lint"))
     else:
         print(render_text(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Run the whole-program analyses; exit 0 iff no new findings."""
+    import pathlib
+
+    from repro.sanitize import (
+        analyze_paths,
+        apply_baseline,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        rule_catalogue,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        print(rule_catalogue())
+        return 0
+    report = analyze_paths(args.paths)
+    if args.write_baseline:
+        args.baseline = args.baseline or ".sanitize-baseline.json"
+        write_baseline(report, args.baseline)
+        print(
+            f"baseline written to {args.baseline} "
+            f"({len(report.violations)} findings)"
+        )
+        return 0
+    notes: list[str] = []
+    if args.baseline and pathlib.Path(args.baseline).exists():
+        matched, stale = apply_baseline(report, load_baseline(args.baseline))
+        if matched:
+            notes.append(f"{matched} baselined finding(s) subtracted")
+        if stale:
+            notes.append(
+                f"{len(stale)} stale baseline entr(y/ies) -- regenerate "
+                f"with --write-baseline: "
+                + "; ".join(f"{c} {p}" for c, p, _ in stale[:5])
+            )
+    if args.sarif:
+        pathlib.Path(args.sarif).write_text(
+            render_sarif(report), encoding="utf-8"
+        )
+        notes.append(f"SARIF written to {args.sarif}")
+    if args.format == "json":
+        print(render_json(report, tool="analyze"))
+    elif args.format == "sarif":
+        print(render_sarif(report))
+    else:
+        print(render_text(report))
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -780,6 +834,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     lint.set_defaults(func=_cmd_lint)
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-program analyses (ANA rules: taint, coverage, pickle)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format",
+    )
+    analyze.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="subtract known findings recorded in this baseline file",
+    )
+    analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+    analyze.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write a SARIF 2.1.0 document to PATH (for CI artifacts)",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
     sub.add_parser("all", help="everything (long)").set_defaults(func=_cmd_all)
     return parser
 

@@ -49,6 +49,35 @@ SCHEMA_VERSION = 1
 #: after they exist and can never influence them.
 TELEMETRY_EXCLUDED_FIELDS = ("spans", "obs_metrics", "telemetry", "ledger")
 
+#: MachineConfig knobs the experiment runner pins at their defaults for
+#: every sweep point (it only ever varies seed/topology/scheduler).  A
+#: change to a *default* changes source, so the source-tree hash already
+#: invalidates stale entries; a runner change that starts varying one of
+#: these must move it into the key material -- ANA002 will insist.
+PINNED_CONFIG_FIELDS = (
+    "context_switch_cost",
+    "migration_cost",
+    "max_actions_per_advance",
+    "dvfs",
+)
+
+#: MachineConfig switches asserted digest-neutral: runs produce
+#: bit-identical behavioural results with them on or off (the hot-path
+#: parity suite and the tracer/attribution tests pin this), so they must
+#: not fragment the cache key space.
+PARITY_NEUTRAL_FIELDS = ("trace", "obs", "sanitize", "hotpath", "attribution")
+
+#: ExperimentContext state that selects an execution *strategy*, never an
+#: outcome: worker counts, cache locations, executor plumbing.  The
+#: serial==parallel merge contract (DET003) is what keeps these out of
+#: the key legitimately.
+EXECUTION_EXCLUDED_FIELDS = (
+    "jobs",
+    "cache_dir",
+    "result_cache",
+    "executor_factory",
+)
+
 _SOURCE_HASH: str | None = None
 
 
@@ -56,25 +85,49 @@ def _canonical(material: dict) -> str:
     return json.dumps(material, sort_keys=True, separators=(",", ":"))
 
 
-def source_tree_hash() -> str:
+def _is_source_file(relative: pathlib.PurePath) -> bool:
+    """Real package source only: no bytecode caches, no editor droppings.
+
+    ``__pycache__`` contents and hidden files (``.#mod.py`` Emacs locks,
+    ``.mod.py.swp``-style artifacts) are not inputs to any computed
+    result, so hashing them would churn cache keys on byte-identical
+    source.
+    """
+    return not any(
+        part == "__pycache__" or part.startswith(".") for part in relative.parts
+    )
+
+
+def source_tree_hash(root: pathlib.Path | None = None) -> str:
     """SHA-256 over every ``repro`` source file (cached per process).
 
     Hashes (relative path, content digest) pairs of all ``.py`` files
     under the installed ``repro`` package, in sorted path order, so the
     digest is stable across machines and checkouts of the same code.
+    ``root`` overrides the package directory (for tests); only the
+    default root's hash is cached.
     """
     global _SOURCE_HASH
-    if _SOURCE_HASH is None:
+    if root is None and _SOURCE_HASH is not None:
+        return _SOURCE_HASH
+    if root is None:
         import repro
 
-        root = pathlib.Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(path.relative_to(root).as_posix().encode())
-            digest.update(b"\0")
-            digest.update(hashlib.sha256(path.read_bytes()).digest())
+        tree_root = pathlib.Path(repro.__file__).resolve().parent
+    else:
+        tree_root = root
+    digest = hashlib.sha256()
+    for path in sorted(tree_root.rglob("*.py")):
+        relative = path.relative_to(tree_root)
+        if not _is_source_file(relative):
+            continue
+        digest.update(relative.as_posix().encode())
+        digest.update(b"\0")
+        digest.update(hashlib.sha256(path.read_bytes()).digest())
+    if root is None:
         _SOURCE_HASH = digest.hexdigest()
-    return _SOURCE_HASH
+        return _SOURCE_HASH
+    return digest.hexdigest()
 
 
 def estimator_fingerprint(ctx: "ExperimentContext") -> str | None:

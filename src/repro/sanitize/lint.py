@@ -4,15 +4,31 @@ The engine is deliberately small: it parses each file once, annotates every
 node with its parent (``_san_parent``), hands the module to each registered
 rule, and filters the resulting violations through inline suppressions.
 
-Suppression syntax (checked on the flagged line or the line directly above)::
+Suppression syntax: ``# sanitize: ignore[CODE]`` (or ``ignore[A, B]``) on
+
+* the flagged line or the line directly above it,
+* any continuation line of the flagged multi-line statement, or
+* for a flagged ``def``/``class``: any decorator line, any signature
+  line, or the line above the first decorator.
+
+::
 
     value = time.time()  # sanitize: ignore[DET001]
     # sanitize: ignore[DET002, OBS001]
     for core in cores: ...
 
+Suppressed findings are not dropped: they are reported with a
+``suppressed`` flag (and counted separately) so ``--json`` consumers see
+the full picture.
+
 Rules live in :mod:`repro.sanitize.rules` and register themselves via the
-:func:`rule` decorator; each declares a code, a one-line rationale, and the
-path scope it enforces (e.g. only ``repro/sim`` + ``repro/kernel``).
+:func:`rule` decorator; each declares a code, a one-line summary, and the
+path scope it enforces (e.g. only ``repro/sim`` + ``repro/kernel``).  The
+rule's *rationale* is the first paragraph of its docstring -- that is what
+``repro lint --list-rules`` prints.  Project-wide analyses (the ANA
+family) register separately in :mod:`repro.sanitize.analyze.engine` but
+share this module's :class:`Violation`/:class:`LintReport` shapes, the
+suppression syntax, and the reporters.
 """
 
 from __future__ import annotations
@@ -45,13 +61,22 @@ _SUPPRESS_RE = re.compile(r"#\s*sanitize:\s*ignore\[([A-Z0-9,\s]+)\]")
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule hit at one source location."""
+    """One rule hit at one source location.
+
+    ``suppressed`` marks findings silenced by an inline
+    ``# sanitize: ignore[CODE]`` comment -- they are reported (with the
+    flag) but do not fail the run.  ``chain`` carries the source->sink
+    call chain for interprocedural findings (one ``"qualname
+    (path:line)"`` frame per hop); per-file lint rules leave it empty.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    suppressed: bool = False
+    chain: tuple[str, ...] = ()
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.code)
@@ -73,14 +98,27 @@ class Rule:
 
 @dataclass
 class LintReport:
-    """Outcome of one lint run."""
+    """Outcome of one lint (or analyze) run.
+
+    ``violations`` holds the *active* findings; ``suppressed`` the ones
+    silenced by inline comments.  ``ok`` considers active findings only.
+    """
 
     violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
     files_scanned: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+
+def rationale_from_doc(doc: str | None) -> str:
+    """First paragraph of a docstring, whitespace-collapsed."""
+    if not doc:
+        return ""
+    paragraph = doc.strip().split("\n\n", 1)[0]
+    return " ".join(paragraph.split())
 
 
 class ParsedModule:
@@ -128,31 +166,86 @@ class ParsedModule:
                 )
         return codes
 
+    def _suppression_lines(self, node: ast.AST) -> Iterator[int]:
+        """Line numbers whose comments may suppress a finding on ``node``.
+
+        The scan covers the enclosing *statement*, so a trailing comment
+        on any continuation line of a multi-line call (or above the first
+        decorator of a flagged ``def``) works, not just the exact line the
+        violation anchors to.
+        """
+        stmt: ast.stmt | None = node if isinstance(node, ast.stmt) else None
+        if stmt is None:
+            for parent in self.parents(node):
+                if isinstance(parent, ast.stmt):
+                    stmt = parent
+                    break
+        lineno = getattr(node, "lineno", 0)
+        if stmt is None:
+            yield lineno - 1
+            yield lineno
+            return
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # A flagged def/class (or its decorators/signature): scan the
+            # decorator lines and the signature, never the whole body.
+            first = min(
+                [stmt.lineno] + [d.lineno for d in stmt.decorator_list]
+            )
+            last = stmt.body[0].lineno - 1 if stmt.body else stmt.lineno
+        else:
+            first = stmt.lineno
+            last = getattr(stmt, "end_lineno", None) or stmt.lineno
+        yield first - 1
+        yield from range(first, last + 1)
+
+    def suppressed_codes_for(self, node: ast.AST) -> set[str]:
+        """Codes suppressed anywhere in ``node``'s statement extent."""
+        codes: set[str] = set()
+        for lineno in self._suppression_lines(node):
+            match = _SUPPRESS_RE.search(self.line(lineno))
+            if match:
+                codes.update(
+                    code.strip() for code in match.group(1).split(",") if code.strip()
+                )
+        return codes
+
     def violation(
-        self, node: ast.AST, code: str, message: str
+        self,
+        node: ast.AST,
+        code: str,
+        message: str,
+        chain: tuple[str, ...] = (),
     ) -> Violation:
+        """Build a :class:`Violation`, resolving suppression on the spot."""
         return Violation(
             path=self.path,
             line=getattr(node, "lineno", 0),
             col=getattr(node, "col_offset", 0),
             code=code,
             message=message,
+            suppressed=code in self.suppressed_codes_for(node),
+            chain=chain,
         )
 
 
 _REGISTRY: dict[str, Rule] = {}
 
 
-def rule(
-    code: str, summary: str, rationale: str, scope: tuple[str, ...]
-) -> Callable:
-    """Register a rule function under ``code`` (decorator)."""
+def rule(code: str, summary: str, scope: tuple[str, ...]) -> Callable:
+    """Register a rule function under ``code`` (decorator).
+
+    The rule's rationale -- what ``--list-rules`` prints -- is the first
+    paragraph of the decorated function's docstring.
+    """
 
     def register(check: Callable[[ParsedModule], Iterable[Violation]]):
         if code in _REGISTRY:
             raise ValueError(f"duplicate lint rule code {code}")
         _REGISTRY[code] = Rule(
-            code=code, summary=summary, rationale=rationale,
+            code=code, summary=summary,
+            rationale=rationale_from_doc(check.__doc__),
             scope=scope, check=check,
         )
         return check
@@ -177,29 +270,32 @@ def iter_python_files(paths: Iterable[str | pathlib.Path]) -> Iterator[pathlib.P
             yield path
 
 
-def lint_file(path: pathlib.Path) -> list[Violation]:
-    """Lint one file; unparseable source becomes a PARSE violation."""
+def parse_module(path: pathlib.Path) -> ParsedModule | Violation:
+    """Parse one file; unparseable source becomes a PARSE violation."""
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Violation(
-                path=str(path),
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                code="PARSE",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    module = ParsedModule(path, source, tree)
+        return Violation(
+            path=str(path),
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            code="PARSE",
+            message=f"syntax error: {exc.msg}",
+        )
+    return ParsedModule(path, source, tree)
+
+
+def lint_file(path: pathlib.Path) -> list[Violation]:
+    """Lint one file; suppressed findings carry their flag."""
+    module = parse_module(path)
+    if isinstance(module, Violation):
+        return [module]
     found: list[Violation] = []
     for candidate in registered_rules():
         if not candidate.applies_to(module):
             continue
-        for violation in candidate.check(module):
-            if violation.code not in module.suppressed_codes(violation.line):
-                found.append(violation)
+        found.extend(candidate.check(module))
     return found
 
 
@@ -208,6 +304,11 @@ def lint_paths(paths: Iterable[str | pathlib.Path]) -> LintReport:
     report = LintReport()
     for path in iter_python_files(paths):
         report.files_scanned += 1
-        report.violations.extend(lint_file(path))
+        for violation in lint_file(path):
+            if violation.suppressed:
+                report.suppressed.append(violation)
+            else:
+                report.violations.append(violation)
     report.violations.sort(key=Violation.sort_key)
+    report.suppressed.sort(key=Violation.sort_key)
     return report

@@ -1,8 +1,9 @@
 """The lint rules: repo contracts encoded as AST checks.
 
-Each rule registers itself with :func:`repro.sanitize.lint.rule`, declaring
-its code, a one-line summary (shown by ``repro lint --list-rules``), the
-rationale, and the path scope it enforces.  See EXPERIMENTS.md for the full
+Each rule registers itself with :func:`repro.sanitize.lint.rule`,
+declaring its code, a one-line summary (shown by ``repro lint
+--list-rules``), and the path scope it enforces.  The rule's rationale is
+the first paragraph of its docstring.  See EXPERIMENTS.md for the full
 catalogue with suppression examples.
 """
 
@@ -11,6 +12,12 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.sanitize.astutil import (
+    classify_source_call,
+    dotted_name,
+    import_aliases,
+    is_set_like,
+)
 from repro.sanitize.lint import (
     DECISION_SCOPE,
     MERGE_SCOPE,
@@ -22,117 +29,34 @@ from repro.sanitize.lint import (
 )
 
 # ----------------------------------------------------------------------
-# Shared helpers
-# ----------------------------------------------------------------------
-
-
-def _import_aliases(module: ParsedModule) -> dict[str, str]:
-    """Map every imported local name to its fully qualified origin.
-
-    ``import numpy as np`` -> ``{"np": "numpy"}``;
-    ``from numpy.random import default_rng as rng`` ->
-    ``{"rng": "numpy.random.default_rng"}``.
-    """
-    aliases: dict[str, str] = {}
-    for node in ast.walk(module.tree):
-        if isinstance(node, ast.Import):
-            for item in node.names:
-                aliases[item.asname or item.name.split(".")[0]] = (
-                    item.name if item.asname else item.name.split(".")[0]
-                )
-        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-            for item in node.names:
-                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
-    return aliases
-
-
-def _dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
-    """Resolve a Name/Attribute chain to a dotted origin name, or None."""
-    parts: list[str] = []
-    current = node
-    while isinstance(current, ast.Attribute):
-        parts.append(current.attr)
-        current = current.value
-    if not isinstance(current, ast.Name):
-        return None
-    root = aliases.get(current.id, current.id)
-    parts.append(root)
-    return ".".join(reversed(parts))
-
-
-def _is_set_like(node: ast.AST) -> bool:
-    """Literal sets, set comprehensions, and set()/frozenset() calls."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in {"set", "frozenset"}
-    return False
-
-
-# ----------------------------------------------------------------------
 # DET001 -- wall clock / unseeded RNG
 # ----------------------------------------------------------------------
-
-_WALLCLOCK = {
-    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
-    "time.process_time_ns",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-}
-_ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4", "os.getrandom"}
-#: Allowed names under numpy.random: seeded-generator constructors only.
-_NUMPY_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64"}
 
 
 @rule(
     "DET001",
     "no wall-clock or unseeded-RNG calls in simulation code",
-    "Outcomes must be a pure function of (workload, topology, scheduler, "
-    "seed); any wall-clock read or global/unseeded RNG breaks run-to-run "
-    "reproducibility and invalidates scheduler comparisons.",
     DECISION_SCOPE,
 )
 def det001(module: ParsedModule) -> Iterator[Violation]:
-    aliases = _import_aliases(module)
+    """Outcomes must be a pure function of (workload, topology, scheduler,
+    seed); any wall-clock read or global/unseeded RNG breaks run-to-run
+    reproducibility and invalidates scheduler comparisons.
+
+    The interprocedural companion is ANA001 (``repro analyze``), which
+    tracks the same sources through call chains into digest-relevant
+    state project-wide.
+    """
+    aliases = import_aliases(module.tree)
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
-        name = _dotted(node.func, aliases)
+        name = dotted_name(node.func, aliases)
         if name is None:
             continue
-        if name in _WALLCLOCK:
-            yield module.violation(
-                node, "DET001",
-                f"wall-clock call {name}() in simulation code; use the "
-                "engine clock (machine/engine .now)",
-            )
-        elif name in _ENTROPY:
-            yield module.violation(
-                node, "DET001",
-                f"entropy source {name}() is nondeterministic; derive ids "
-                "from seeded state",
-            )
-        elif name.startswith(("random.", "secrets.")):
-            yield module.violation(
-                node, "DET001",
-                f"{name}() uses a global/unseeded RNG; use "
-                "numpy.random.default_rng(seed)",
-            )
-        elif name.startswith("numpy.random."):
-            leaf = name.rsplit(".", 1)[1]
-            if leaf not in _NUMPY_RANDOM_OK:
-                yield module.violation(
-                    node, "DET001",
-                    f"legacy numpy global RNG {name}(); use "
-                    "numpy.random.default_rng(seed)",
-                )
-            elif leaf == "default_rng" and not node.args and not node.keywords:
-                yield module.violation(
-                    node, "DET001",
-                    "default_rng() without a seed draws OS entropy; pass an "
-                    "explicit seed",
-                )
+        message = classify_source_call(name, node)
+        if message is not None:
+            yield module.violation(node, "DET001", message)
 
 
 # ----------------------------------------------------------------------
@@ -157,7 +81,7 @@ def _set_bound_names(module: ParsedModule) -> dict[ast.AST, set[str]]:
             value, targets = node.value, node.targets
         elif isinstance(node, ast.AnnAssign) and node.value is not None:
             value, targets = node.value, [node.target]
-        if value is None or not _is_set_like(value):
+        if value is None or not is_set_like(value):
             continue
         scope = _enclosing_scope(module, node)
         for target in targets:
@@ -169,16 +93,17 @@ def _set_bound_names(module: ParsedModule) -> dict[ast.AST, set[str]]:
 @rule(
     "DET002",
     "no iteration over unordered sets in scheduling-decision paths",
-    "Python set iteration order depends on insertion history and hashing; "
-    "a pick or balance decision driven by it silently varies between "
-    "equivalent runs.  Iterate sorted(...) or a tid-keyed structure.",
     DECISION_SCOPE,
 )
 def det002(module: ParsedModule) -> Iterator[Violation]:
+    """Python set iteration order depends on insertion history and hashing;
+    a pick or balance decision driven by it silently varies between
+    equivalent runs.  Iterate sorted(...) or a tid-keyed structure.
+    """
     bound = _set_bound_names(module)
 
     def is_unordered(expr: ast.AST, scope: ast.AST) -> bool:
-        if _is_set_like(expr):
+        if is_set_like(expr):
             return True
         if isinstance(expr, ast.Name):
             return expr.id in bound.get(scope, set()) or expr.id in bound.get(
@@ -220,18 +145,19 @@ _AS_COMPLETED = {"concurrent.futures.as_completed", "asyncio.as_completed"}
 @rule(
     "DET003",
     "no completion-order iteration over executor futures",
-    "Parallel sweeps must merge results keyed by evaluation point in "
-    "submission order; anything driven by as_completed() order -- which "
-    "depends on host load and OS scheduling -- silently varies between "
-    "runs and breaks the serial/parallel bit-identity contract.",
     MERGE_SCOPE,
 )
 def det003(module: ParsedModule) -> Iterator[Violation]:
-    aliases = _import_aliases(module)
+    """Parallel sweeps must merge results keyed by evaluation point in
+    submission order; anything driven by as_completed() order -- which
+    depends on host load and OS scheduling -- silently varies between
+    runs and breaks the serial/parallel bit-identity contract.
+    """
+    aliases = import_aliases(module.tree)
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
-        name = _dotted(node.func, aliases)
+        name = dotted_name(node.func, aliases)
         if name in _AS_COMPLETED:
             yield module.violation(
                 node, "DET003",
@@ -261,12 +187,13 @@ def _node_fingerprint(node: ast.AST) -> str:
 @rule(
     "OBS001",
     "every tracer.emit(...) call guarded by `if <tracer>.enabled`",
-    "The observability contract is zero overhead when disabled: event "
-    "arguments must not even be constructed unless the tracer is on, so "
-    "each emit site sits under an `if tracer.enabled:` branch.",
     DECISION_SCOPE,
 )
 def obs001(module: ParsedModule) -> Iterator[Violation]:
+    """The observability contract is zero overhead when disabled: event
+    arguments must not even be constructed unless the tracer is on, so
+    each emit site sits under an `if tracer.enabled:` branch.
+    """
     for node in ast.walk(module.tree):
         if not (
             isinstance(node, ast.Call)
@@ -322,15 +249,16 @@ def _has_finally_end_span(scope: ast.AST) -> bool:
 @rule(
     "OBS002",
     "every start_span() paired with a finally-path end_span()",
-    "A span left open on an exception path corrupts the merged timeline "
-    "(its duration reads as zero and its children re-parent); the manual "
-    "start_span()/end_span() form is only legal when the close sits in a "
-    "`finally:` of the same function.  Prefer the context manager "
-    "`with collector.span(...)`, which closes on all paths by "
-    "construction.",
     SPAN_SCOPE,
 )
 def obs002(module: ParsedModule) -> Iterator[Violation]:
+    """A span left open on an exception path corrupts the merged timeline
+    (its duration reads as zero and its children re-parent); the manual
+    start_span()/end_span() form is only legal when the close sits in a
+    `finally:` of the same function.  Prefer the context manager
+    `with collector.span(...)`, which closes on all paths by
+    construction.
+    """
     for node in ast.walk(module.tree):
         if not (
             isinstance(node, ast.Call)
@@ -372,14 +300,15 @@ def _attribution_target(target: ast.expr) -> str | None:
 @rule(
     "OBS003",
     "attribution state written only through AttributionAccounting",
-    "Per-task time attribution (attr_ms/attr_since/attr_state) telescopes "
-    "to the task's turnaround only if every state transition closes the "
-    "previous window first; a write outside the single accounting helper "
-    "(repro.obs.attribution.AttributionAccounting) silently breaks the "
-    "sum-to-turnaround invariant the report and ledger rely on.",
     SPAN_SCOPE,
 )
 def obs003(module: ParsedModule) -> Iterator[Violation]:
+    """Per-task time attribution (attr_ms/attr_since/attr_state) telescopes
+    to the task's turnaround only if every state transition closes the
+    previous window first; a write outside the single accounting helper
+    (repro.obs.attribution.AttributionAccounting) silently breaks the
+    sum-to-turnaround invariant the report and ledger rely on.
+    """
     if any(module.posix.endswith(name) for name in _OBS_ATTR_EXCLUDED_FILES):
         return
     for node in ast.walk(module.tree):
@@ -414,12 +343,13 @@ _RQ_PRIVATE_ATTRS = {"_tree", "_by_tid", "_keys", "_nodes"}
 @rule(
     "KERN001",
     "no rbtree/runqueue mutation outside RunQueue methods",
-    "RunQueue keeps three structures (tree, tid index, key map) plus the "
-    "task's rq_core_id in lockstep; touching any of them from outside "
-    "desynchronises the bookkeeping the schedulers rely on.",
     _KERN_SCOPE,
 )
 def kern001(module: ParsedModule) -> Iterator[Violation]:
+    """RunQueue keeps three structures (tree, tid index, key map) plus the
+    task's rq_core_id in lockstep; touching any of them from outside
+    desynchronises the bookkeeping the schedulers rely on.
+    """
     if any(module.posix.endswith(name) for name in _KERN_EXCLUDED_FILES):
         return
     for node in ast.walk(module.tree):
@@ -470,15 +400,16 @@ _PERF_HOT_FUNCTIONS = {"_dispatch", "_account", "_advance", "step"}
 @rule(
     "PERF001",
     "no comprehensions or sorted() in per-event hot functions",
-    "Machine._dispatch/_account/_advance and Engine.step execute once per "
-    "simulator event; a list/dict/set comprehension, generator "
-    "expression, or sorted() call there allocates (or sorts) on every "
-    "event and regresses single-run speed for all sweeps at once.  Hoist "
-    "the work out of the loop or keep an incrementally maintained "
-    "structure.",
     SIM_KERNEL_SCOPE,
 )
 def perf001(module: ParsedModule) -> Iterator[Violation]:
+    """Machine._dispatch/_account/_advance and Engine.step execute once per
+    simulator event; a list/dict/set comprehension, generator
+    expression, or sorted() call there allocates (or sorts) on every
+    event and regresses single-run speed for all sweeps at once.  Hoist
+    the work out of the loop or keep an incrementally maintained
+    structure.
+    """
     for node in ast.walk(module.tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
@@ -527,12 +458,13 @@ def _blanket_names(node: ast.expr | None) -> Iterator[str]:
 @rule(
     "ERR001",
     "no bare or blanket `except` in sim/kernel",
-    "A swallowed SimulationError/KernelError turns an invariant violation "
-    "into a silently wrong result table; sim/kernel code must catch "
-    "specific exception types and let the rest propagate.",
     SIM_KERNEL_SCOPE,
 )
 def err001(module: ParsedModule) -> Iterator[Violation]:
+    """A swallowed SimulationError/KernelError turns an invariant violation
+    into a silently wrong result table; sim/kernel code must catch
+    specific exception types and let the rest propagate.
+    """
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.ExceptHandler):
             continue

@@ -10,10 +10,9 @@ reference path.
 Floats are hashed through ``repr`` (the shortest round-tripping form), so
 any bit-level drift in a single accounting value changes the digest.
 
-Deliberately excluded: ``metrics`` (the hot path adds suppressed/discarded
-counters by design), ``events``/``trace_metadata`` (observability volume
-depends on tracer configuration, and the behavioural content of DISPATCH
-events is already covered by the legacy ``trace`` tuples).
+Deliberately excluded fields are enumerated (with rationales) in
+:data:`DIGEST_EXCLUDED_FIELDS`; the ANA003 analysis insists every
+``RunResult`` field is either hashed here or named there.
 """
 
 from __future__ import annotations
@@ -23,6 +22,33 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.machine import RunResult
+
+#: RunResult fields :func:`run_digest` deliberately does not hash, with
+#: the contract that keeps each exclusion sound (ANA003 enforces that
+#: every field is either hashed or named here):
+#:
+#: * ``scheduler_stats`` -- a policy-specific stats object with no stable
+#:   canonical form; every behavioural quantity it derives from (switches,
+#:   migrations, per-task accounting) is hashed via its own field.
+#: * ``events`` / ``trace_metadata`` -- observability volume depends on
+#:   tracer configuration; the behavioural content of DISPATCH events is
+#:   already covered by the legacy ``trace`` tuples.
+#: * ``events_processed`` / ``events_discarded`` / ``events_suppressed``
+#:   / ``metrics`` -- engine bookkeeping counters; the hot path suppresses
+#:   stale events by design, so these differ between paths that are
+#:   behaviourally identical.
+#: * ``attribution`` -- observational per-task time accounting, derived
+#:   from the same dispatch stream the digest already hashes.
+DIGEST_EXCLUDED_FIELDS = (
+    "attribution",
+    "events",
+    "events_discarded",
+    "events_processed",
+    "events_suppressed",
+    "metrics",
+    "scheduler_stats",
+    "trace_metadata",
+)
 
 
 def run_digest(result: "RunResult") -> str:

@@ -106,6 +106,40 @@ class TestPointFingerprint:
         ctx = pure_ctx(estimator=OracleSpeedupModel(noise_std=0.1, seed=7))
         assert point_key_material(ctx, "Sync-1", "2B2S", "colab") is None
 
+
+class TestSourceTreeHash:
+    def seed_tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "top.py").write_text("y = 2\n")
+        return tmp_path
+
+    def test_pycache_and_pyc_do_not_churn_the_hash(self, tmp_path):
+        tree = self.seed_tree(tmp_path)
+        before = source_tree_hash(root=tree)
+        cache = tree / "pkg" / "__pycache__"
+        cache.mkdir()
+        (cache / "mod.cpython-312.pyc").write_bytes(b"\x00bytecode")
+        # Some tools drop real .py files inside __pycache__ too.
+        (cache / "mod.cpython-312.py").write_text("compiled = True\n")
+        assert source_tree_hash(root=tree) == before
+
+    def test_hidden_editor_droppings_are_ignored(self, tmp_path):
+        tree = self.seed_tree(tmp_path)
+        before = source_tree_hash(root=tree)
+        (tree / ".#top.py").write_text("emacs lock\n")
+        (tree / "pkg" / ".mod.py").write_text("vim artifact\n")
+        assert source_tree_hash(root=tree) == before
+
+    def test_real_source_changes_still_invalidate(self, tmp_path):
+        tree = self.seed_tree(tmp_path)
+        before = source_tree_hash(root=tree)
+        (tree / "pkg" / "mod.py").write_text("x = 2\n")
+        assert source_tree_hash(root=tree) != before
+
+    def test_default_root_is_cached_and_stable(self):
+        assert source_tree_hash() == source_tree_hash()
+
     def test_fingerprint_varies_with_every_key_field(self):
         base = point_key_material(pure_ctx(), "Sync-1", "2B2S", "colab")
         seen = {point_fingerprint(base)}

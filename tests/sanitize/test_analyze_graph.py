@@ -1,0 +1,199 @@
+"""Module graph + function summaries: the analysis substrate."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.sanitize.analyze.graph import ModuleGraph, module_name_for
+from repro.sanitize.analyze.summaries import ProjectSummaries
+
+
+def write_tree(tmp_path, files):
+    """Materialise ``{relpath: source}`` under ``tmp_path`` and return it."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+class TestModuleNames:
+    def test_rooted_at_last_repro_component(self):
+        path = pathlib.Path("/tmp/x/repro/sim/machine.py")
+        assert module_name_for(path) == "repro.sim.machine"
+
+    def test_init_maps_to_package(self):
+        path = pathlib.Path("src/repro/sanitize/__init__.py")
+        assert module_name_for(path) == "repro.sanitize"
+
+    def test_nested_fixture_tree(self):
+        path = pathlib.Path("/pytest-0/test_x0/repro/parallel/executor.py")
+        assert module_name_for(path) == "repro.parallel.executor"
+
+
+class TestModuleGraph:
+    def test_build_and_import_edges(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/sim/a.py": "from repro.sim.b import helper\n",
+            "repro/sim/b.py": "def helper():\n    return 1\n",
+        })
+        graph = ModuleGraph.build([tmp_path])
+        assert set(graph.modules) == {"repro.sim.a", "repro.sim.b"}
+        assert graph.modules["repro.sim.a"].imports == {"repro.sim.b"}
+        assert graph.importers_of("repro.sim.b") == ["repro.sim.a"]
+        assert graph.files_scanned == 2
+
+    def test_find_by_suffix(self, tmp_path):
+        write_tree(tmp_path, {"repro/sim/machine.py": "x = 1\n"})
+        graph = ModuleGraph.build([tmp_path])
+        info = graph.find_by_suffix("sim/machine.py")
+        assert info is not None and info.name == "repro.sim.machine"
+        assert graph.find_by_suffix("sim/missing.py") is None
+
+    def test_relative_imports_resolve_to_analysed_modules(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/sim/__init__.py": "",
+            "repro/sim/a.py": "from . import b\nfrom ..model import speedup\n",
+            "repro/sim/b.py": "def helper():\n    return 1\n",
+            "repro/model/__init__.py": "",
+            "repro/model/speedup.py": "x = 1\n",
+        })
+        graph = ModuleGraph.build([tmp_path])
+        info = graph.modules["repro.sim.a"]
+        assert {"repro.sim.b", "repro.model.speedup"} <= info.imports
+        assert info.aliases["b"] == "repro.sim.b"
+        assert info.aliases["speedup"] == "repro.model.speedup"
+
+    def test_relative_import_above_root_is_ignored(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/__init__.py": "from ...outside import thing\n",
+        })
+        graph = ModuleGraph.build([tmp_path])
+        assert "thing" not in graph.modules["repro"].aliases
+
+    def test_parse_errors_do_not_abort_the_build(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/sim/ok.py": "x = 1\n",
+            "repro/sim/bad.py": "def f(:\n",
+        })
+        graph = ModuleGraph.build([tmp_path])
+        assert "repro.sim.ok" in graph.modules
+        assert len(graph.parse_errors) == 1
+        assert graph.parse_errors[0].code == "PARSE"
+
+
+class TestSummaries:
+    def build(self, tmp_path, files):
+        return ProjectSummaries.build(ModuleGraph.build([write_tree(tmp_path, files)]))
+
+    def test_qualnames_cover_methods_and_nested_defs(self, tmp_path):
+        summaries = self.build(tmp_path, {
+            "repro/sim/m.py": (
+                "class Machine:\n"
+                "    def run(self):\n"
+                "        def inner():\n"
+                "            return 1\n"
+                "        return inner()\n"
+                "def top():\n"
+                "    return 2\n"
+            ),
+        })
+        assert "repro.sim.m.Machine.run" in summaries.functions
+        assert "repro.sim.m.Machine.run.inner" in summaries.functions
+        assert "repro.sim.m.top" in summaries.functions
+        assert summaries.functions["repro.sim.m.Machine.run"].cls == "Machine"
+
+    def test_exact_cross_module_call_resolution(self, tmp_path):
+        summaries = self.build(tmp_path, {
+            "repro/sim/a.py": (
+                "from repro.sim.b import helper\n"
+                "def caller():\n"
+                "    return helper()\n"
+            ),
+            "repro/sim/b.py": "def helper():\n    return 1\n",
+        })
+        caller = summaries.functions["repro.sim.a.caller"]
+        assert [site.targets for site in caller.calls] == [("repro.sim.b.helper",)]
+
+    def test_call_resolution_through_relative_import(self, tmp_path):
+        summaries = self.build(tmp_path, {
+            "repro/__init__.py": "",
+            "repro/sim/__init__.py": "",
+            "repro/sim/a.py": (
+                "from . import b\n"
+                "def caller():\n"
+                "    return b.helper()\n"
+            ),
+            "repro/sim/b.py": "def helper():\n    return 1\n",
+        })
+        caller = summaries.functions["repro.sim.a.caller"]
+        assert [site.targets for site in caller.calls] == [("repro.sim.b.helper",)]
+
+    def test_self_method_and_nested_call_resolution(self, tmp_path):
+        summaries = self.build(tmp_path, {
+            "repro/sim/m.py": (
+                "class M:\n"
+                "    def run(self):\n"
+                "        def inner():\n"
+                "            return 0\n"
+                "        return self.step() + inner()\n"
+                "    def step(self):\n"
+                "        return 1\n"
+            ),
+        })
+        run = summaries.functions["repro.sim.m.M.run"]
+        targets = {t for site in run.calls for t in site.targets}
+        assert "repro.sim.m.M.step" in targets
+        assert "repro.sim.m.M.run.inner" in targets
+
+    def test_cha_fallback_for_attribute_calls(self, tmp_path):
+        summaries = self.build(tmp_path, {
+            "repro/sim/m.py": (
+                "class Machine:\n"
+                "    def run(self):\n"
+                "        return 1\n"
+                "def go(machine):\n"
+                "    return machine.run()\n"
+            ),
+        })
+        go = summaries.functions["repro.sim.m.go"]
+        targets = {t for site in go.calls for t in site.targets}
+        assert "repro.sim.m.Machine.run" in targets
+
+    def test_instantiation_resolves_to_init(self, tmp_path):
+        summaries = self.build(tmp_path, {
+            "repro/sim/m.py": (
+                "class M:\n"
+                "    def __init__(self):\n"
+                "        self.x = 1\n"
+                "def make():\n"
+                "    return M()\n"
+            ),
+        })
+        make = summaries.functions["repro.sim.m.make"]
+        targets = {t for site in make.calls for t in site.targets}
+        assert "repro.sim.m.M.__init__" in targets
+
+    def test_sources_stay_in_their_own_scope(self, tmp_path):
+        summaries = self.build(tmp_path, {
+            "repro/sim/m.py": (
+                "import time\n"
+                "def outer():\n"
+                "    def inner():\n"
+                "        return time.time()\n"
+                "    return inner()\n"
+            ),
+        })
+        outer = summaries.functions["repro.sim.m.outer"]
+        inner = summaries.functions["repro.sim.m.outer.inner"]
+        assert outer.sources == []
+        assert [display for _, display, _ in inner.sources] == ["time.time()"]
+
+    def test_find_by_suffix_and_qualname(self, tmp_path):
+        summaries = self.build(tmp_path, {
+            "repro/sim/digest.py": "def run_digest(result):\n    return 1\n",
+        })
+        found = summaries.find("sim/digest.py", "run_digest")
+        assert found is not None and found.key == "repro.sim.digest.run_digest"
+        assert summaries.find("sim/digest.py", "missing") is None

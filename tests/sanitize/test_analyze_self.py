@@ -1,0 +1,128 @@
+"""Self-analyze: the repo's own source passes the ANA analyses (tier-1).
+
+Like self-lint, this is the standing hygiene gate: the fingerprint and
+digest coverage contracts, the determinism taint, and the payload
+pickle-safety proof must hold on every commit.  Known accepted findings
+live in the committed ``.sanitize-baseline.json``; this test applies it
+exactly like CI does.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import repro
+from repro.sanitize import render_json, render_sarif
+from repro.sanitize.analyze import analyze_paths, apply_baseline, load_baseline
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+SRC = pathlib.Path(repro.__file__).resolve().parent
+BASELINE = REPO_ROOT / ".sanitize-baseline.json"
+
+
+def analyzed_report():
+    report = analyze_paths([SRC])
+    apply_baseline(report, load_baseline(BASELINE))
+    return report
+
+
+class TestSelfAnalyze:
+    def test_repo_source_is_clean_modulo_baseline(self):
+        report = analyzed_report()
+        details = "\n".join(
+            f"{v.path}:{v.line} {v.code} {v.message}" for v in report.violations
+        )
+        assert report.files_scanned > 50
+        assert report.ok, f"new analysis findings:\n{details}"
+
+    def test_baseline_file_is_committed_and_well_formed(self):
+        assert BASELINE.exists(), ".sanitize-baseline.json must be committed"
+        payload = json.loads(BASELINE.read_text())
+        assert payload["schema"] == 1
+        assert isinstance(payload["findings"], list)
+
+    def test_coverage_contracts_checked_real_surfaces(self):
+        # The contract analyses must actually have seen the real modules
+        # (a path regression that hides machine.py would silently pass
+        # the clean assertion above).
+        from repro.sanitize.analyze.graph import ModuleGraph
+
+        graph = ModuleGraph.build([SRC])
+        for suffix, cls in (
+            ("sim/machine.py", "MachineConfig"),
+            ("sim/machine.py", "RunResult"),
+            ("experiments/runner.py", "ExperimentContext"),
+        ):
+            assert graph.find_class(suffix, cls) is not None
+        assert graph.find_by_suffix("parallel/fingerprint.py") is not None
+        assert graph.find_by_suffix("sim/digest.py") is not None
+        assert graph.find_by_suffix("parallel/executor.py") is not None
+
+
+class TestSarif:
+    def test_sarif_document_shape(self, tmp_path):
+        tree = tmp_path / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "digest.py").write_text(
+            "import time\n"
+            "def run_digest(result):\n"
+            "    return _now()\n"
+            "def _now():\n"
+            "    return time.time()\n"
+        )
+        report = analyze_paths([tmp_path])
+        document = json.loads(render_sarif(report))
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert "ANA001" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "ANA001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("digest.py")
+        assert location["region"]["startLine"] == 5
+        # The interprocedural chain rides in codeFlows.
+        flow = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert flow[0]["location"]["message"]["text"] == "run_digest"
+
+    def test_suppressed_findings_carry_suppression_objects(self, tmp_path):
+        tree = tmp_path / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "digest.py").write_text(
+            "import time\n"
+            "def run_digest(result):\n"
+            "    return time.time()  # sanitize: ignore[ANA001]\n"
+        )
+        report = analyze_paths([tmp_path])
+        document = json.loads(render_sarif(report))
+        result = document["runs"][0]["results"][0]
+        assert result["suppressions"] == [{"kind": "inSource"}]
+
+    def test_clean_report_has_no_results(self):
+        report = analyzed_report()
+        document = json.loads(render_sarif(report))
+        assert document["runs"][0]["results"] == []
+
+
+class TestSharedJsonSchema:
+    def test_analyze_json_matches_lint_schema(self, tmp_path):
+        tree = tmp_path / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "digest.py").write_text(
+            "import time\n"
+            "def run_digest(result):\n"
+            "    return time.time()\n"
+        )
+        payload = json.loads(render_json(analyze_paths([tmp_path]), tool="analyze"))
+        assert payload["schema"] == 1
+        assert payload["tool"] == "analyze"
+        assert payload["counts"] == {"active": 1, "suppressed": 0}
+        violation = payload["violations"][0]
+        assert set(violation) >= {
+            "code", "path", "line", "col", "message", "suppressed",
+        }
+        assert violation["suppressed"] is False
+        assert violation["chain"][0].startswith("run_digest")

@@ -154,6 +154,85 @@ class TestLintCommand:
         assert main(["lint", str(src)]) == 0
 
 
+class TestAnalyzeCommand:
+    def test_parser_options(self):
+        parser = build_parser()
+        args = parser.parse_args(["analyze"])
+        assert args.command == "analyze"
+        assert args.paths == ["src/repro"]
+        assert args.format == "text"
+        assert args.baseline is None
+        assert not args.write_baseline
+        args = parser.parse_args(
+            ["analyze", "src/repro", "--format", "sarif",
+             "--baseline", "b.json", "--sarif", "out.sarif"]
+        )
+        assert args.format == "sarif"
+        assert args.baseline == "b.json"
+        assert args.sarif == "out.sarif"
+
+    def tainted_tree(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "digest.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n"
+            "def run_digest(result):\n"
+            "    return time.time()\n"
+        )
+        return tmp_path
+
+    def test_findings_exit_nonzero_with_chain(self, tmp_path, capsys):
+        tree = self.tainted_tree(tmp_path)
+        assert main(["analyze", str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "ANA001" in out
+        assert "via run_digest" in out
+
+    def test_json_format_shares_lint_schema(self, tmp_path, capsys):
+        tree = self.tainted_tree(tmp_path)
+        assert main(["analyze", str(tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "analyze"
+        assert payload["schema"] == 1
+        assert payload["violations"][0]["code"] == "ANA001"
+        assert payload["violations"][0]["suppressed"] is False
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        tree = self.tainted_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["analyze", str(tree), "--baseline", str(baseline),
+             "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["analyze", str(tree), "--baseline", str(baseline)]
+        ) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_sarif_artifact_written(self, tmp_path, capsys):
+        tree = self.tainted_tree(tmp_path)
+        artifact = tmp_path / "out.sarif"
+        assert main(["analyze", str(tree), "--sarif", str(artifact)]) == 1
+        document = json.loads(artifact.read_text())
+        assert document["version"] == "2.1.0"
+
+    def test_list_rules_includes_ana_family(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("ANA001", "ANA002", "ANA003", "ANA004"):
+            assert code in out
+
+    def test_repo_source_is_clean_modulo_baseline(self, capsys):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        assert main(
+            ["analyze", str(root / "src" / "repro"),
+             "--baseline", str(root / ".sanitize-baseline.json")]
+        ) == 0
+
+
 class TestRunCommand:
     def test_run_point_and_json_export(self, tmp_path, capsys):
         out = tmp_path / "point.json"

@@ -1,0 +1,200 @@
+"""Timeline-sampling overhead: the disabled sampler must be effectively free.
+
+The sim-time timeline (``repro.obs.timeseries``) hooks ``Engine.step``
+with a single guard -- one attribute read plus an ``is None`` check per
+processed event when sampling is disabled.  This bench checks that
+contract on a reference run, in the same shape as ``bench_obs_overhead``:
+
+* time the same (mix, config, scheduler, seed) run with sampling
+  disabled and enabled, on fresh machines each round (wall-clock medians
+  over several rounds);
+* measure the per-event cost of the disabled guard directly and scale it
+  by the number of events the run processed -- an upper bound on what
+  the disabled hook adds to the run;
+* assert that bound stays under 5% of the disabled run's wall time;
+* assert the determinism contract directly: ``run_digest`` is
+  bit-identical with sampling on and off for all four schedulers;
+* write ``BENCH_timeseries.json`` so ``check_regression.py`` tracks the
+  perf trajectory across sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from benchmarks.conftest import bench_artifact, bench_assert, emit
+from repro.kernel.task import reset_tid_counter
+from repro.sim.digest import run_digest
+from repro.sim.machine import Machine, MachineConfig
+from repro.workloads.mixes import MIXES
+from repro.workloads.programs import ProgramEnv
+
+#: Reference point: a synchronisation-heavy mix exercises every sampled
+#: signal (runqueues, utilization, futex waiters, migrations, tiers).
+MIX, CONFIG, SCHEDULER = "Sync-2", "2B2S", "colab"
+ROUNDS = 5
+#: Acceptance bound: disabled-sampling overhead vs the seed run.
+MAX_DISABLED_OVERHEAD = 0.05
+#: Digest parity is asserted for every policy the paper compares.
+PARITY_SCHEDULERS = ("linux", "gts", "wash", "colab")
+
+ARTIFACT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_timeseries.json"
+)
+
+
+def timed_run(ctx, scheduler: str, timeseries: bool):
+    """Wall-clock one fresh reference run; returns (seconds, result).
+
+    Task ids restart from zero each run so on/off run pairs are
+    digest-comparable (tids are digest material).
+    """
+    reset_tid_counter()
+    machine = Machine(
+        ctx.topology(CONFIG, big_first=True),
+        ctx.make_scheduler(scheduler),
+        MachineConfig(seed=ctx.seed, timeseries=timeseries),
+    )
+    env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
+    for instance in MIXES[MIX].instantiate(env):
+        machine.add_program(instance)
+    started = time.perf_counter()
+    result = machine.run()
+    return time.perf_counter() - started, result
+
+
+def guard_cost_seconds(checks: int) -> float:
+    """Cost of ``checks`` disabled-sampler guard evaluations.
+
+    Replicates the exact disabled-path work ``Engine.step`` added: read
+    the ``sampler`` attribute, compare against ``None``.
+    """
+
+    class _Host:
+        sampler = None
+
+    host = _Host()
+    started = time.perf_counter()
+    hits = 0
+    for _ in range(checks):
+        if host.sampler is not None:
+            hits += 1
+    elapsed = time.perf_counter() - started
+    assert hits == 0
+    return elapsed
+
+
+def digest_parity(ctx) -> dict:
+    """Sampling on/off digest pairs per scheduler (must all match)."""
+    verdicts = {}
+    for scheduler in PARITY_SCHEDULERS:
+        _s, off = timed_run(ctx, scheduler, timeseries=False)
+        _s, on = timed_run(ctx, scheduler, timeseries=True)
+        verdicts[scheduler] = run_digest(off) == run_digest(on)
+    return verdicts
+
+
+def measure(ctx) -> dict:
+    disabled_times = []
+    enabled_times = []
+    n_events = 0
+    n_samples = 0
+    for _ in range(ROUNDS):
+        seconds, result = timed_run(ctx, SCHEDULER, timeseries=False)
+        disabled_times.append(seconds)
+        n_events = result.events_processed
+        seconds, result = timed_run(ctx, SCHEDULER, timeseries=True)
+        enabled_times.append(seconds)
+        n_samples = result.timeseries.get("samples", 0)
+
+    disabled_s = statistics.median(disabled_times)
+    enabled_s = statistics.median(enabled_times)
+    # Upper-bound the disabled hook: exactly one guard evaluation per
+    # processed event; charge 4x to be conservative.
+    guard_checks = max(1, n_events * 4)
+    guard_s = guard_cost_seconds(guard_checks)
+    parity = digest_parity(ctx)
+    return {
+        "mix": MIX,
+        "config": CONFIG,
+        "scheduler": SCHEDULER,
+        "rounds": ROUNDS,
+        "events_processed": n_events,
+        "samples_when_enabled": n_samples,
+        "disabled_run_s": disabled_s,
+        "enabled_run_s": enabled_s,
+        "enabled_over_disabled": enabled_s / disabled_s,
+        "guard_checks_timed": guard_checks,
+        "guard_cost_s": guard_s,
+        "disabled_overhead_fraction": guard_s / disabled_s,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "digest_parity": parity,
+        "digest_parity_all": all(parity.values()),
+    }
+
+
+def to_artifact(report: dict) -> dict:
+    """Map the raw measurement onto the unified BENCH schema."""
+    return bench_artifact(
+        name="timeseries_overhead",
+        params={
+            "mix": report["mix"],
+            "config": report["config"],
+            "scheduler": report["scheduler"],
+            "rounds": report["rounds"],
+        },
+        timings={
+            "disabled_run_s": report["disabled_run_s"],
+            "enabled_run_s": report["enabled_run_s"],
+            "guard_cost_s": report["guard_cost_s"],
+        },
+        asserts={
+            "disabled_overhead_fraction": bench_assert(
+                report["disabled_overhead_fraction"],
+                report["max_disabled_overhead"],
+                "<",
+            ),
+            "digest_parity_all": bench_assert(
+                float(report["digest_parity_all"]), 1.0, ">="
+            ),
+        },
+        derived={
+            "events_processed": report["events_processed"],
+            "samples_when_enabled": report["samples_when_enabled"],
+            "guard_checks_timed": report["guard_checks_timed"],
+            "enabled_over_disabled": report["enabled_over_disabled"],
+            "disabled_overhead_fraction": report["disabled_overhead_fraction"],
+            "digest_parity": report["digest_parity"],
+        },
+    )
+
+
+def test_timeseries_disabled_overhead(benchmark, ctx):
+    report = benchmark.pedantic(lambda: measure(ctx), rounds=1, iterations=1)
+    ARTIFACT.write_text(
+        json.dumps(to_artifact(report), indent=2, sort_keys=True) + "\n"
+    )
+    parity = " ".join(
+        f"{name}={'ok' if ok else 'MISMATCH'}"
+        for name, ok in report["digest_parity"].items()
+    )
+    emit(
+        benchmark,
+        "Timeline-sampling overhead "
+        f"({report['events_processed']} events, "
+        f"{report['samples_when_enabled']} samples at reference point)\n"
+        f"  disabled run      : {report['disabled_run_s'] * 1e3:8.1f} ms\n"
+        f"  enabled run       : {report['enabled_run_s'] * 1e3:8.1f} ms "
+        f"({report['enabled_over_disabled']:.2f}x)\n"
+        f"  guard upper bound : {report['guard_cost_s'] * 1e6:8.1f} us "
+        f"({report['disabled_overhead_fraction'] * 100:.3f}% of disabled)\n"
+        f"  digest parity     : {parity}\n"
+        f"  wrote {ARTIFACT.name}",
+        disabled_overhead_fraction=report["disabled_overhead_fraction"],
+        enabled_over_disabled=report["enabled_over_disabled"],
+    )
+    assert report["digest_parity_all"], report["digest_parity"]
+    assert report["disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD, report

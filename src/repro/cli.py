@@ -8,6 +8,8 @@ Examples::
     colab-repro tables               # Tables 1-4
     colab-repro train                # Table 2 pipeline only
     colab-repro trace --mix Sync-2   # Perfetto trace + metrics of one run
+    colab-repro trace --timeseries   # + sim-time counter tracks
+    colab-repro dash                 # self-contained HTML dashboard
     colab-repro -vv trace ...        # same, with DEBUG decision logs
     colab-repro sweep --jobs 4       # telemetry sweep: timeline + report
     colab-repro sweep-report sweep_report.json
@@ -196,12 +198,13 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     obs = ObsConfig(trace=True, metrics=True, profile=args.profile)
     result = run_mix_once(
         ctx, mix, args.config, args.scheduler, big_first=True, obs=obs,
-        sanitize=args.sanitize,
+        sanitize=args.sanitize, timeseries=args.timeseries,
     )
 
     document = to_chrome_trace(
         result.events, metadata=result.trace_metadata, end_time=result.makespan,
         task_tracks=args.task_tracks,
+        timeseries=result.timeseries if args.timeseries else None,
     )
     with open(args.out, "w") as handle:
         json.dump(document, handle)
@@ -210,6 +213,13 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         f"{len(document['traceEvents'])} trace_event records "
         f"(open at https://ui.perfetto.dev)"
     )
+    if args.timeseries:
+        series = (result.timeseries or {}).get("series", {})
+        print(
+            f"timeline: {len(series)} counter tracks over "
+            f"{result.timeseries.get('samples', 0)} samples "
+            f"(window {result.timeseries.get('window_ms', 0.0):.1f} sim-ms)"
+        )
     if args.jsonl:
         with open(args.jsonl, "w") as handle:
             lines = write_jsonl(result.events, handle)
@@ -237,6 +247,75 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         f"stale discarded={counters.get('engine.events.discarded', 0):.0f} "
         f"pred-cache hits={counters.get('model.pred_cache.hits', 0):.0f}"
         f"/misses={counters.get('model.pred_cache.misses', 0):.0f}"
+    )
+
+
+def _cmd_dash(args: argparse.Namespace) -> None:
+    """Render the self-contained HTML dashboard for one sampled run."""
+    import json
+    import pathlib
+
+    from repro.errors import ExperimentError
+    from repro.experiments.runner import run_mix_once
+    from repro.obs.dashboard import render_dashboard
+    from repro.workloads.mixes import MIXES
+
+    ctx = _context(args)
+    mix = MIXES.get(args.mix)
+    if mix is None:
+        raise ExperimentError(f"unknown mix {args.mix!r}")
+    result = run_mix_once(
+        ctx, mix, args.config, args.scheduler, big_first=True,
+        timeseries=True,
+    )
+    run_panel = {
+        "topology": result.topology_name,
+        "scheduler": result.scheduler_name,
+        "seed": ctx.seed,
+        "makespan_ms": result.makespan,
+        "timeseries": result.timeseries,
+    }
+
+    sweep = None
+    if args.sweep_report is not None:
+        with open(args.sweep_report) as handle:
+            sweep = json.load(handle)
+
+    ledger_series = None
+    ledger = _open_ledger(args)
+    if ledger is not None:
+        with ledger:
+            ledger_series = ledger.metric_series(
+                ["makespan", "h_antt", "h_stp", "wall_s"],
+                mix=args.mix,
+                config=args.config,
+                scheduler=args.scheduler,
+                limit=args.ledger_limit,
+            )
+
+    benches: dict = {}
+    for path in sorted(pathlib.Path(args.bench_dir).glob("BENCH_*.json")):
+        try:
+            benches[path.stem] = json.loads(path.read_text())
+        except (OSError, ValueError):
+            print(f"warning: skipping unreadable {path}", file=sys.stderr)
+
+    document = render_dashboard(
+        run=run_panel,
+        sweep=sweep,
+        ledger_series=ledger_series,
+        benches=benches,
+        title=(
+            f"repro dashboard: {args.scheduler} / {args.config} / {args.mix}"
+        ),
+    )
+    with open(args.out, "w") as handle:
+        handle.write(document)
+    series = (result.timeseries or {}).get("series", {})
+    print(
+        f"wrote {args.out}: {len(document)} bytes, {len(series)} run series, "
+        f"{len(benches)} bench artifact(s) "
+        "(self-contained -- open in any browser)"
     )
 
 
@@ -701,7 +780,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="also emit one attribution-state annotation track per task "
         "(a second 'tasks' process in the Perfetto view)",
     )
+    trace.add_argument(
+        "--timeseries",
+        action="store_true",
+        help="also sample the sim-time metrics timeline and emit one "
+        "Perfetto counter track per series (a 'timeline' process)",
+    )
     trace.set_defaults(func=_cmd_trace)
+    dash = sub.add_parser(
+        "dash",
+        help="render one self-contained HTML dashboard (inline SVG, no "
+        "scripts): sampled run timeline + sweep report + ledger trends "
+        "+ BENCH_*.json artifacts",
+    )
+    dash.add_argument("--mix", default="Sync-2", help="Table 4 mix index")
+    dash.add_argument("--config", default="2B2S", help="2B2S/2B4S/4B2S/4B4S")
+    dash.add_argument(
+        "--scheduler", default="colab", help="linux/wash/colab/gts"
+    )
+    dash.add_argument(
+        "--out", default="dashboard.html", help="HTML output path"
+    )
+    dash.add_argument(
+        "--sweep-report",
+        default=None,
+        metavar="JSON",
+        help="sweep report written by `repro sweep --report` to include "
+        "as the sweep panel",
+    )
+    dash.add_argument(
+        "--bench-dir",
+        default=".",
+        metavar="DIR",
+        help="directory globbed for BENCH_*.json artifacts (default: cwd)",
+    )
+    dash.add_argument(
+        "--ledger-limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="ledger history points per metric in the trends panel",
+    )
+    dash.set_defaults(func=_cmd_dash)
     report = sub.add_parser(
         "report",
         help="per-task time attribution + decision-quality report of one "

@@ -190,6 +190,16 @@ class COLABScheduler(Scheduler):
             self._pred_cache.misses
         )
 
+    def timeseries_counters(self) -> dict[str, float]:
+        """Add the decision-tier mix and prediction-cache counters."""
+        counters = super().timeseries_counters()
+        for tier, count in self.selector.decisions.items():
+            counters[f"colab.pick.{tier}"] = float(count)
+        counters["colab.label_passes"] = float(self.labeler.passes)
+        counters["model.pred_cache.hits"] = float(self._pred_cache.hits)
+        counters["model.pred_cache.misses"] = float(self._pred_cache.misses)
+        return counters
+
     # ------------------------------------------------------------------
     # Scale-slice preemption and equal-progress accounting
     # ------------------------------------------------------------------

@@ -280,6 +280,7 @@ def run_mix_once(
     big_first: bool,
     obs=None,
     sanitize: bool = False,
+    timeseries: bool = False,
 ) -> RunResult:
     """One simulation of ``mix`` on ``config`` under ``scheduler_name``.
 
@@ -287,13 +288,16 @@ def run_mix_once(
     tracing/metrics/profiling for this run.  ``sanitize`` enables the
     runtime scheduler sanitizer (schedsan); outcomes stay bit-identical
     but invariant violations raise :class:`repro.errors.SanitizerError`.
-    Observed and sanitized runs bypass the context's result cache in both
+    ``timeseries`` enables the sim-time timeline sampler
+    (:mod:`repro.obs.timeseries`); outcomes stay bit-identical and
+    ``RunResult.timeseries`` carries the windowed series.  Observed,
+    sanitized, and sampled runs bypass the context's result cache in both
     directions: instrumentation must not leak into the figure pipelines,
-    and a cached bare result would lack the requested checking.
+    and a cached bare result would lack the requested checking/series.
     """
     key = (mix.index, config, scheduler_name, big_first)
     spans = ctx.spans if ctx.spans is not None and ctx.spans.enabled else None
-    cacheable = obs is None and not sanitize
+    cacheable = obs is None and not sanitize and not timeseries
     if cacheable:
         cached = ctx._run_cache.get(key)
         if cached is not None:
@@ -307,7 +311,9 @@ def run_mix_once(
     machine = Machine(
         topology,
         ctx.make_scheduler(scheduler_name),
-        MachineConfig(seed=ctx.seed, obs=obs, sanitize=sanitize),
+        MachineConfig(
+            seed=ctx.seed, obs=obs, sanitize=sanitize, timeseries=timeseries
+        ),
     )
     env = ProgramEnv.for_machine(machine, work_scale=ctx.work_scale)
     for instance in mix.instantiate(env):

@@ -195,3 +195,10 @@ class FutexTable:
     def any_waiters(self) -> bool:
         """True if any task is parked on any futex (deadlock detection)."""
         return any(self._queues.values())
+
+    def waiter_total(self) -> int:
+        """Total parked tasks across all futexes (timeline sampling)."""
+        total = 0
+        for queue in self._queues.values():
+            total += len(queue)
+        return total

@@ -29,6 +29,11 @@ from repro.obs.attribution import (
     task_state_slices,
 )
 from repro.obs.context import Observability, ObsConfig
+from repro.obs.dashboard import (
+    DASHBOARD_SCHEMA_VERSION,
+    render_dashboard,
+    sparkline,
+)
 from repro.obs.diff import (
     TraceDiff,
     diff_trace_files,
@@ -46,6 +51,7 @@ from repro.obs.dist import (
 )
 from repro.obs.exporters import (
     merged_sweep_trace,
+    timeseries_counter_records,
     to_chrome_trace,
     to_jsonl,
     write_chrome_trace,
@@ -75,6 +81,12 @@ from repro.obs.spans import (
     SpanCollector,
     SpanEvent,
 )
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA_VERSION,
+    TimeseriesConfig,
+    TimeseriesSampler,
+    series_value,
+)
 from repro.obs.tracer import (
     SCHEMA_VERSION,
     EventKind,
@@ -87,6 +99,7 @@ __all__ = [
     "ATTRIBUTION_SCHEMA_VERSION",
     "AttributionAccounting",
     "Counter",
+    "DASHBOARD_SCHEMA_VERSION",
     "DistTelemetry",
     "EventKind",
     "Gauge",
@@ -107,7 +120,10 @@ __all__ = [
     "SpanCollector",
     "SpanEvent",
     "SweepProgress",
+    "TIMESERIES_SCHEMA_VERSION",
     "TimeWeighted",
+    "TimeseriesConfig",
+    "TimeseriesSampler",
     "TraceDiff",
     "TraceEvent",
     "Tracer",
@@ -123,14 +139,18 @@ __all__ = [
     "point_label",
     "record_point",
     "render_attribution",
+    "render_dashboard",
     "render_decision_quality",
     "render_ledger_rows",
     "render_sweep_report",
     "render_trace_diff",
     "render_trend",
+    "series_value",
+    "sparkline",
     "summarize_attribution",
     "task_state_slices",
     "timeline_shape",
+    "timeseries_counter_records",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",

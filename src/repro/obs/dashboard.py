@@ -1,0 +1,328 @@
+"""Self-contained static HTML dashboard for runs, sweeps, ledger, benches.
+
+:func:`render_dashboard` combines up to four observability sources into
+one standalone HTML document:
+
+* a sampled run's sim-time timeline (:mod:`repro.obs.timeseries`),
+* a sweep report (:meth:`repro.obs.dist.DistTelemetry.report`),
+* ledger metric histories (:meth:`repro.obs.ledger.Ledger.metric_series`),
+* the repository's ``BENCH_*.json`` artifacts.
+
+Zero dependencies by design: all charts are inline SVG sparklines, all
+styling is one inline ``<style>`` block, and there is no ``<script>``,
+no external URL, and no embedded resource -- the file renders identically
+offline, in CI artifacts, and in a mail attachment.
+
+Determinism contract: the renderer is a pure function of its inputs.  It
+never reads the clock, the environment, or the filesystem; iteration is
+over sorted keys; floats are formatted through one fixed helper.  Two
+calls with equal inputs produce byte-identical HTML, which the dashboard
+determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import html
+
+#: Bump when the rendered document changes shape.
+DASHBOARD_SCHEMA_VERSION = 1
+
+_SPARK_W = 260.0
+_SPARK_H = 48.0
+_PAD = 3.0
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+       margin: 2em auto; max-width: 75em; padding: 0 1em;
+       color: #1c2733; background: #fff; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #1c2733; padding-bottom: .3em; }
+h2 { font-size: 1.15em; margin-top: 2em; }
+p.meta { color: #5a6b7b; font-size: .9em; }
+table { border-collapse: collapse; font-size: .85em; width: 100%; }
+th, td { border: 1px solid #d4dce4; padding: .3em .6em; text-align: left;
+         vertical-align: middle; }
+th { background: #eef2f6; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+svg.spark { display: block; }
+svg.spark polyline { fill: none; stroke: #2266aa; stroke-width: 1.5; }
+svg.spark polygon { fill: #2266aa; fill-opacity: .15; stroke: none; }
+span.ok { color: #1a7f37; font-weight: 600; }
+span.bad { color: #b42318; font-weight: 600; }
+div.empty { color: #5a6b7b; font-style: italic; padding: .5em 0; }
+"""
+
+
+def _fmt(value: object) -> str:
+    """Fixed numeric formatting so equal inputs render identical bytes."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return html.escape(str(value))
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6g}"
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text))
+
+
+def _spark_points(values: list[float], lo: float, hi: float) -> str:
+    """SVG polyline point list across the sparkline viewport."""
+    n = len(values)
+    span = hi - lo
+    inner_w = _SPARK_W - 2 * _PAD
+    inner_h = _SPARK_H - 2 * _PAD
+    points = []
+    for index, value in enumerate(values):
+        x = _PAD + (inner_w * index / (n - 1) if n > 1 else inner_w / 2.0)
+        frac = (value - lo) / span if span > 0 else 0.5
+        y = _PAD + inner_h * (1.0 - frac)
+        points.append(f"{x:.2f},{y:.2f}")
+    return " ".join(points)
+
+
+def sparkline(
+    values: list[float],
+    band_low: list[float] | None = None,
+    band_high: list[float] | None = None,
+) -> str:
+    """One inline-SVG sparkline; optional min/max band behind the line."""
+    if not values:
+        return '<div class="empty">(no data)</div>'
+    lows = band_low if band_low else values
+    highs = band_high if band_high else values
+    lo = min(min(values), min(lows))
+    hi = max(max(values), max(highs))
+    parts = [
+        f'<svg class="spark" width="{_SPARK_W:.0f}" height="{_SPARK_H:.0f}"'
+        f' viewBox="0 0 {_SPARK_W:.0f} {_SPARK_H:.0f}"'
+        ' xmlns="http://www.w3.org/2000/svg">'
+    ]
+    if band_low and band_high and len(band_low) == len(values):
+        forward = _spark_points(band_high, lo, hi)
+        backward = _spark_points(list(reversed(band_low)), lo, hi)
+        parts.append(f'<polygon points="{forward} {backward}" />')
+    parts.append(f'<polyline points="{_spark_points(values, lo, hi)}" />')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _kv_table(data: dict, key_header: str = "key") -> str:
+    if not data:
+        return '<div class="empty">(empty)</div>'
+    rows = [f"<tr><th>{_esc(key_header)}</th><th>value</th></tr>"]
+    for key in sorted(data):
+        rows.append(
+            f"<tr><td>{_esc(key)}</td>"
+            f'<td class="num">{_fmt(data[key])}</td></tr>'
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+# ----------------------------------------------------------------------
+# Panels
+# ----------------------------------------------------------------------
+
+def _run_panel(run: dict | None) -> str:
+    if not run:
+        return '<div class="empty">No sampled run provided.</div>'
+    timeseries = run.get("timeseries") or {}
+    series = timeseries.get("series") or {}
+    meta = (
+        f"scheduler <b>{_esc(run.get('scheduler', '?'))}</b> on "
+        f"<b>{_esc(run.get('topology', '?'))}</b>, "
+        f"seed {_fmt(run.get('seed', '?'))}, "
+        f"makespan {_fmt(run.get('makespan_ms', 0.0))} sim-ms; "
+        f"sampled every {_fmt(timeseries.get('sample_period_ms', 0.0))} sim-ms "
+        f"({_fmt(timeseries.get('samples', 0))} samples, "
+        f"window {_fmt(timeseries.get('window_ms', 0.0))} ms)"
+    )
+    if not series:
+        return (
+            f'<p class="meta">{meta}</p>'
+            '<div class="empty">Run produced no timeline windows '
+            "(shorter than one sample period).</div>"
+        )
+    from repro.obs.timeseries import series_value
+
+    rows = [
+        "<tr><th>series</th><th>kind</th><th>timeline</th>"
+        "<th>last</th><th>min</th><th>max</th></tr>"
+    ]
+    for name in sorted(series):
+        entry = series[name]
+        windows = entry.get("windows") or []
+        if not windows:
+            continue
+        values = [series_value(entry, w) for w in windows]
+        if entry.get("kind") == "gauge":
+            band_low = [float(w.get("min", 0.0)) for w in windows]
+            band_high = [float(w.get("max", 0.0)) for w in windows]
+            chart = sparkline(values, band_low, band_high)
+        else:
+            chart = sparkline(values)
+        rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f"<td>{_esc(entry.get('kind', 'gauge'))}</td>"
+            f"<td>{chart}</td>"
+            f'<td class="num">{_fmt(values[-1])}</td>'
+            f'<td class="num">{_fmt(min(values))}</td>'
+            f'<td class="num">{_fmt(max(values))}</td></tr>'
+        )
+    return f'<p class="meta">{meta}</p><table>' + "".join(rows) + "</table>"
+
+
+def _sweep_panel(sweep: dict | None) -> str:
+    if not sweep:
+        return '<div class="empty">No sweep report provided.</div>'
+    headline = {
+        key: sweep[key]
+        for key in (
+            "points_total",
+            "points_executed",
+            "points_from_cache",
+            "cache_hit_ratio",
+            "wall_s",
+            "queue_wait_total_s",
+            "compute_total_s",
+            "jobs",
+        )
+        if key in sweep
+    }
+    parts = [_kv_table(headline, key_header="sweep")]
+    histograms = sweep.get("histograms") or {}
+    if histograms:
+        rows = ["<tr><th>histogram</th><th>stats</th></tr>"]
+        for name in sorted(histograms):
+            summary = histograms[name] or {}
+            stats = ", ".join(
+                f"{key}={_fmt(summary[key])}" for key in sorted(summary)
+            )
+            rows.append(
+                f"<tr><td>{_esc(name)}</td><td>{_esc(stats)}</td></tr>"
+            )
+        parts.append("<table>" + "".join(rows) + "</table>")
+    workers = sweep.get("workers") or []
+    if workers:
+        rows = [
+            "<tr><th>worker</th><th>points</th>"
+            "<th>busy (s)</th><th>utilization</th></tr>"
+        ]
+        for worker in workers:
+            rows.append(
+                f"<tr><td>{_fmt(worker.get('track', '?'))}</td>"
+                f'<td class="num">{_fmt(worker.get("points", 0))}</td>'
+                f'<td class="num">{_fmt(worker.get("busy_s", 0.0))}</td>'
+                f'<td class="num">{_fmt(worker.get("utilization", 0.0))}</td>'
+                "</tr>"
+            )
+        parts.append("<table>" + "".join(rows) + "</table>")
+    return "".join(parts)
+
+
+def _ledger_panel(ledger_series: dict | None) -> str:
+    if not ledger_series:
+        return '<div class="empty">No ledger history provided.</div>'
+    rows = [
+        "<tr><th>metric</th><th>history</th><th>latest</th>"
+        "<th>median (prior)</th><th>direction</th></tr>"
+    ]
+    for metric in sorted(ledger_series):
+        entry = ledger_series[metric]
+        values = [float(v) for v in entry.get("values") or []]
+        if not values:
+            continue
+        median_prior = entry.get("median_prior")
+        direction = (
+            "lower is better"
+            if entry.get("lower_is_better", True)
+            else "higher is better"
+        )
+        rows.append(
+            f"<tr><td>{_esc(metric)}</td>"
+            f"<td>{sparkline(values)}</td>"
+            f'<td class="num">{_fmt(values[-1])}</td>'
+            f'<td class="num">'
+            f"{_fmt(median_prior) if median_prior is not None else '--'}</td>"
+            f"<td>{_esc(direction)}</td></tr>"
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def _bench_panel(benches: dict | None) -> str:
+    if not benches:
+        return '<div class="empty">No BENCH_*.json artifacts found.</div>'
+    parts = []
+    for bench_name in sorted(benches):
+        artifact = benches[bench_name] or {}
+        timings = artifact.get("timings") or {}
+        asserts = artifact.get("asserts") or {}
+        rows = ["<tr><th>timing</th><th>seconds</th></tr>"]
+        for key in sorted(timings):
+            rows.append(
+                f"<tr><td>{_esc(key)}</td>"
+                f'<td class="num">{_fmt(timings[key])}</td></tr>'
+            )
+        for key in sorted(asserts):
+            record = asserts[key] or {}
+            ok = bool(record.get("ok"))
+            verdict = (
+                '<span class="ok">ok</span>'
+                if ok
+                else '<span class="bad">FAIL</span>'
+            )
+            rows.append(
+                f"<tr><td>assert: {_esc(key)}</td>"
+                f'<td class="num">{_fmt(record.get("measured", "?"))} '
+                f"{_esc(record.get('op', '?'))} "
+                f"{_fmt(record.get('bound', '?'))} &rarr; {verdict}</td></tr>"
+            )
+        parts.append(
+            f"<h3>{_esc(artifact.get('name', bench_name))}</h3>"
+            "<table>" + "".join(rows) + "</table>"
+        )
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Document assembly
+# ----------------------------------------------------------------------
+
+def render_dashboard(
+    run: dict | None = None,
+    sweep: dict | None = None,
+    ledger_series: dict | None = None,
+    benches: dict | None = None,
+    title: str = "repro dashboard",
+) -> str:
+    """Render one self-contained HTML dashboard (a pure function).
+
+    Args:
+        run: Run panel payload: ``topology`` / ``scheduler`` / ``seed`` /
+            ``makespan_ms`` plus a ``timeseries`` snapshot
+            (``RunResult.timeseries``).
+        sweep: A :meth:`repro.obs.dist.DistTelemetry.report` payload.
+        ledger_series: A :meth:`repro.obs.ledger.Ledger.metric_series`
+            payload.
+        benches: Mapping of bench artifact name -> parsed ``BENCH_*.json``.
+        title: Document title (also the ``<h1>``).
+    """
+    body = (
+        f"<h1>{_esc(title)}</h1>"
+        f'<p class="meta">schema v{DASHBOARD_SCHEMA_VERSION} &middot; '
+        "static snapshot &middot; no scripts, no external resources</p>"
+        "<h2>Run timeline (sim-time)</h2>"
+        f"{_run_panel(run)}"
+        "<h2>Sweep report</h2>"
+        f"{_sweep_panel(sweep)}"
+        "<h2>Ledger trends</h2>"
+        f"{_ledger_panel(ledger_series)}"
+        "<h2>Benchmarks</h2>"
+        f"{_bench_panel(benches)}"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n"
+        f"</head><body>{body}</body></html>\n"
+    )

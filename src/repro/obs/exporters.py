@@ -25,6 +25,7 @@ from repro.obs.tracer import SCHEMA_VERSION, EventKind, TraceEvent, dispatch_sli
 
 #: trace_event phase codes used below.
 _PH_COMPLETE = "X"
+_PH_COUNTER = "C"
 _PH_INSTANT = "i"
 _PH_METADATA = "M"
 
@@ -67,6 +68,7 @@ def to_chrome_trace(
     metadata: dict | None = None,
     end_time: float | None = None,
     task_tracks: bool = False,
+    timeseries: dict | None = None,
 ) -> dict:
     """Build a Chrome ``trace_event`` document from a typed event stream.
 
@@ -81,6 +83,10 @@ def to_chrome_trace(
             "tasks" process) whose slices are the task's attribution
             states -- running/runnable/blocked -- reconstructed from the
             event stream (:func:`repro.obs.attribution.task_state_slices`).
+        timeseries: ``RunResult.timeseries`` snapshot from a sampled run
+            (:mod:`repro.obs.timeseries`); each series becomes one
+            Perfetto counter ("C") track alongside the span/instant
+            tracks.
 
     Returns:
         ``{"traceEvents": [...], "displayTimeUnit": "ms", ...}`` -- JSON
@@ -174,6 +180,9 @@ def to_chrome_trace(
             _task_state_records(events, metadata, end_time)
         )
 
+    if timeseries:
+        trace_events.extend(timeseries_counter_records(timeseries))
+
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -190,6 +199,72 @@ def to_chrome_trace(
 
 #: Document pid of the per-task state-annotation process.
 _TASK_TRACK_PID = 1
+
+#: Document pid of the sim-time counter-track process.
+_COUNTER_TRACK_PID = 2
+
+
+def timeseries_counter_records(timeseries: dict) -> list[dict]:
+    """Perfetto counter ("C") tracks from a timeline snapshot.
+
+    One counter track per series (pid 2, "timeline"), one sample per
+    window at the window's start time carrying the window's
+    representative value (:func:`repro.obs.timeseries.series_value`),
+    plus a closing sample at the last window's end so the staircase spans
+    the whole run.  A pure function of the snapshot -- identical inputs
+    produce identical records, which the export-determinism tests pin.
+    """
+    from repro.obs.timeseries import series_value
+
+    series = timeseries.get("series") or {}
+    if not series:
+        return []
+    records: list[dict] = [
+        {
+            "ph": _PH_METADATA,
+            "name": "process_name",
+            "pid": _COUNTER_TRACK_PID,
+            "tid": 0,
+            "args": {"name": "timeline [sim-time counters]"},
+        },
+        {
+            "ph": _PH_METADATA,
+            "name": "process_sort_index",
+            "pid": _COUNTER_TRACK_PID,
+            "tid": 0,
+            "args": {"sort_index": _COUNTER_TRACK_PID},
+        },
+    ]
+    for name in sorted(series):
+        entry = series[name]
+        windows = entry.get("windows") or []
+        if not windows:
+            continue
+        for window in windows:
+            records.append(
+                {
+                    "ph": _PH_COUNTER,
+                    "name": name,
+                    "cat": "timeseries",
+                    "pid": _COUNTER_TRACK_PID,
+                    "tid": 0,
+                    "ts": _ms_to_us(window["t0"]),
+                    "args": {"value": series_value(entry, window)},
+                }
+            )
+        last = windows[-1]
+        records.append(
+            {
+                "ph": _PH_COUNTER,
+                "name": name,
+                "cat": "timeseries",
+                "pid": _COUNTER_TRACK_PID,
+                "tid": 0,
+                "ts": _ms_to_us(last["t1"]),
+                "args": {"value": series_value(entry, last)},
+            }
+        )
+    return records
 
 
 def _task_state_records(
@@ -260,6 +335,7 @@ def write_chrome_trace(
     metadata: dict | None = None,
     end_time: float | None = None,
     task_tracks: bool = False,
+    timeseries: dict | None = None,
 ) -> None:
     """Serialise :func:`to_chrome_trace` output to ``handle``."""
     json.dump(
@@ -268,6 +344,7 @@ def write_chrome_trace(
             metadata=metadata,
             end_time=end_time,
             task_tracks=task_tracks,
+            timeseries=timeseries,
         ),
         handle,
     )

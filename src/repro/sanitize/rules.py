@@ -13,6 +13,7 @@ import ast
 from typing import Iterator
 
 from repro.sanitize.astutil import (
+    WALLCLOCK,
     classify_source_call,
     dotted_name,
     import_aliases,
@@ -21,6 +22,7 @@ from repro.sanitize.astutil import (
 from repro.sanitize.lint import (
     DECISION_SCOPE,
     MERGE_SCOPE,
+    SAMPLING_SCOPE,
     SIM_KERNEL_SCOPE,
     SPAN_SCOPE,
     ParsedModule,
@@ -327,6 +329,38 @@ def obs003(module: ParsedModule) -> Iterator[Violation]:
                     "AttributionAccounting; route the transition through "
                     "the accounting helper to keep windows telescoping",
                 )
+
+
+# ----------------------------------------------------------------------
+# OBS004 -- sim-time sampling paths never read the wall clock
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "OBS004",
+    "no wall-clock reads in sim-time sampling paths",
+    SAMPLING_SCOPE,
+)
+def obs004(module: ParsedModule) -> Iterator[Violation]:
+    """The metrics timeline is sampled on the *simulated* clock: the
+    sampler fires when the engine's event time crosses a boundary, and
+    every window timestamp is a sim-ms tick multiple.  A wall-clock read
+    anywhere in the sampler or the engine hook would smuggle host timing
+    into the series, breaking the byte-identical-exports guarantee the
+    dashboard and counter-track tests pin.
+    """
+    aliases = import_aliases(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func, aliases)
+        if name in WALLCLOCK:
+            yield module.violation(
+                node, "OBS004",
+                f"wall-clock call {name}() in a sim-time sampling path; "
+                "timeline samples must be driven by the engine clock "
+                "(engine.now / event timestamps) only",
+            )
 
 
 # ----------------------------------------------------------------------

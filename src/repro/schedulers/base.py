@@ -155,6 +155,33 @@ class Scheduler(abc.ABC):
             if isinstance(value, (int, float)):
                 registry.gauge(f"scheduler.{field_name}").set(value)
 
+    def timeseries_counters(self) -> dict[str, float]:
+        """Cumulative policy counters for the sim-time timeline sampler.
+
+        Called at every sample tick when ``MachineConfig.timeseries`` is
+        enabled, so implementations must be read-only and cheap.  Each
+        value is a monotonic cumulative count; the sampler windows them
+        into deltas and rates.  The default exposes the core decision
+        counters of :class:`SchedulerStats`; policies add their own
+        series (decision-tier mixes, prediction-cache hits) on top of
+        ``super().timeseries_counters()``.
+        """
+        stats = self.stats
+        return {
+            "scheduler.picks": float(stats.picks),
+            "scheduler.steals": float(stats.steals),
+            "scheduler.wakeup_preemptions": float(stats.wakeup_preemptions),
+        }
+
+    def timeseries_gauges(self) -> dict[str, float]:
+        """Instantaneous policy gauges for the timeline sampler.
+
+        Same contract as :meth:`timeseries_counters` (read-only, cheap,
+        called every tick) but values are point-in-time measurements the
+        sampler aggregates with min/max/mean/p50/p95 per window.
+        """
+        return {}
+
     def sanitize_invariants(self, machine: "Machine") -> list[str]:
         """Describe broken policy invariants (schedsan hook; empty = healthy).
 

@@ -116,6 +116,16 @@ class GTSScheduler(CFSScheduler):
             registry.gauge("gts.max_load").set(max(loads))
             registry.gauge("gts.tracked_tasks").set(len(loads))
 
+    def timeseries_gauges(self) -> dict[str, float]:
+        """Add the evolving load-tracking view to the timeline."""
+        gauges = super().timeseries_gauges()
+        if self._load:
+            loads = self._load.values()
+            gauges["gts.mean_load"] = sum(loads) / len(loads)
+            gauges["gts.max_load"] = max(loads)
+            gauges["gts.tracked_tasks"] = float(len(loads))
+        return gauges
+
     def sanitize_invariants(self, machine) -> list[str]:
         """GTS masks are always one whole cluster (big or little)."""
         problems = super().sanitize_invariants(machine)

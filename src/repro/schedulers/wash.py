@@ -170,6 +170,18 @@ class WASHScheduler(CFSScheduler):
         )
         registry.gauge("wash.pinned_tasks").set(pinned)
 
+    def timeseries_gauges(self) -> dict[str, float]:
+        """Add the evolving big-cluster pin count to the timeline."""
+        gauges = super().timeseries_gauges()
+        machine = self.machine
+        if machine is not None:
+            pinned = 0
+            for task in machine.tasks:
+                if not task.is_done and task.affinity is not None:
+                    pinned += 1
+            gauges["wash.pinned_tasks"] = float(pinned)
+        return gauges
+
     def sanitize_invariants(self, machine) -> list[str]:
         """WASH only ever pins to the whole big cluster or unpins."""
         problems = super().sanitize_invariants(machine)

@@ -39,6 +39,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #:   behaviourally identical.
 #: * ``attribution`` -- observational per-task time accounting, derived
 #:   from the same dispatch stream the digest already hashes.
+#: * ``timeseries`` -- observational windowed aggregates sampled from the
+#:   same event stream by a read-only hook; whether sampling ran (and at
+#:   what cadence) changes no behavioural outcome, which the sampling
+#:   on/off parity tests pin for all four schedulers.
 DIGEST_EXCLUDED_FIELDS = (
     "attribution",
     "events",
@@ -47,6 +51,7 @@ DIGEST_EXCLUDED_FIELDS = (
     "events_suppressed",
     "metrics",
     "scheduler_stats",
+    "timeseries",
     "trace_metadata",
 )
 

@@ -87,6 +87,12 @@ class Engine:
         #: after each processed or discarded event (the machine returns
         #: scratch timer events to a pool here).
         self.recycle = None
+        #: Optional sim-time sampler (:class:`repro.obs.timeseries.
+        #: TimeseriesSampler`); when set, :meth:`step` notifies it before
+        #: the clock crosses ``sampler.next_due``.  The sampler is
+        #: read-only and pushes no events, so sequence numbers and heap
+        #: order -- and therefore run digests -- are unaffected.
+        self.sampler = None
 
     # ------------------------------------------------------------------
     # Registration and queueing
@@ -175,6 +181,9 @@ class Engine:
             return event
         if self.sanitizer is not None:
             self.sanitizer.on_event(event, self.now)
+        sampler = self.sampler
+        if sampler is not None and event_time >= sampler.next_due:
+            sampler.on_clock_advance(event_time)
         self.now = event_time
         self._processed += 1
         if self._processed > self._max_events:

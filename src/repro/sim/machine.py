@@ -124,6 +124,15 @@ class MachineConfig:
     #: ``events_processed`` counters -- outside :func:`repro.sim.digest.
     #: run_digest`, so runs are bit-identical with this on or off.
     attribution: bool = True
+    #: Enable the sim-time metrics timeline (:mod:`repro.obs.timeseries`):
+    #: a fixed-cadence, read-only sampler of runqueue depth, utilization,
+    #: migration/preemption rates, futex waiters, vruntime spread, and
+    #: per-policy decision series.  Purely observational -- the sampler
+    #: pushes no events, so digests are bit-identical with this on or off.
+    timeseries: bool = False
+    #: Optional :class:`repro.obs.timeseries.TimeseriesConfig` overriding
+    #: the default sampling cadence; ignored unless ``timeseries`` is set.
+    timeseries_config: object | None = None
 
 
 @dataclass(slots=True)
@@ -187,6 +196,12 @@ class RunResult:
     #: is deliberately outside :func:`repro.sim.digest.run_digest` and the
     #: persistent-cache fingerprints.
     attribution: dict = field(default_factory=dict)
+    #: Sim-time metrics timeline (:meth:`repro.obs.timeseries.
+    #: TimeseriesSampler.snapshot`); empty when the run disabled sampling.
+    #: Observational by the same contract as :attr:`attribution` --
+    #: outside :func:`repro.sim.digest.run_digest` and the cache
+    #: fingerprints.
+    timeseries: dict = field(default_factory=dict)
 
     def turnaround_of(self, app_name: str) -> float:
         """Turnaround of the (unique) application called ``app_name``."""
@@ -266,6 +281,16 @@ class Machine:
             self._m_dispatches = self.obs.metrics.counter("sched.dispatches")
             self._m_migrations = self.obs.metrics.counter("sched.migrations")
             self._m_switches = self.obs.metrics.counter("sched.context_switches")
+
+        self._timeseries: TimeseriesSampler | None = None
+        if self.config.timeseries:
+            from repro.obs.timeseries import TimeseriesConfig, TimeseriesSampler
+
+            ts_config = self.config.timeseries_config
+            if ts_config is None:
+                ts_config = TimeseriesConfig()
+            self._timeseries = TimeseriesSampler(self, ts_config)
+            self.engine.sampler = self._timeseries
 
         self.tasks: list[Task] = []
         self.app_names: dict[int, str] = {}
@@ -1052,6 +1077,11 @@ class Machine:
             attribution=(
                 summarize_attribution(self.tasks, self._attr)
                 if self._attr is not None
+                else {}
+            ),
+            timeseries=(
+                self._timeseries.snapshot(makespan)
+                if self._timeseries is not None
                 else {}
             ),
         )

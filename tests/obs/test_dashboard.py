@@ -1,0 +1,145 @@
+"""Dashboard rendering: byte-identical output, self-containment, panels."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.dashboard import render_dashboard, sparkline
+from tests.obs.test_timeseries import reference_run
+
+PANELS = (
+    "Run timeline (sim-time)",
+    "Sweep report",
+    "Ledger trends",
+    "Benchmarks",
+)
+
+
+def run_payload(name: str = "colab") -> dict:
+    result = reference_run(name, timeseries=True)
+    return {
+        "topology": "2B2S",
+        "scheduler": name,
+        "seed": 3,
+        "makespan_ms": result.makespan,
+        "timeseries": result.timeseries,
+    }
+
+
+def assert_self_contained(doc: str) -> None:
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "<script" not in doc.lower()
+    # The only URL-shaped string allowed is the SVG namespace declaration.
+    for url in re.findall(r"https?://[^\"'\s<>]+", doc):
+        assert url == "http://www.w3.org/2000/svg", url
+    assert "<link" not in doc.lower()
+    assert "<img" not in doc.lower()
+    assert "@import" not in doc
+    assert "url(" not in doc
+
+
+class TestSparkline:
+    def test_empty_values_render_placeholder(self):
+        assert "no data" in sparkline([])
+
+    def test_polyline_present(self):
+        svg = sparkline([1.0, 2.0, 3.0])
+        assert svg.startswith("<svg")
+        assert "<polyline" in svg
+        assert "<polygon" not in svg
+
+    def test_band_adds_polygon(self):
+        svg = sparkline(
+            [2.0, 3.0], band_low=[1.0, 2.0], band_high=[3.0, 4.0]
+        )
+        assert "<polygon" in svg
+
+    def test_identical_inputs_identical_bytes(self):
+        values = [0.1, 0.5, 0.25, 0.9]
+        assert sparkline(values) == sparkline(values)
+
+    def test_flat_series_renders(self):
+        svg = sparkline([5.0, 5.0, 5.0])
+        assert "<polyline" in svg
+
+
+class TestRenderDashboard:
+    def test_empty_dashboard_is_complete_document(self):
+        doc = render_dashboard()
+        assert_self_contained(doc)
+        for heading in PANELS:
+            assert f"<h2>{heading}</h2>" in doc
+
+    def test_identical_runs_render_byte_identical_html(self):
+        first = render_dashboard(run=run_payload())
+        second = render_dashboard(run=run_payload())
+        assert first == second
+
+    def test_all_schedulers_render_self_contained(self):
+        for name in ("linux", "gts", "wash", "colab"):
+            doc = render_dashboard(run=run_payload(name))
+            assert_self_contained(doc)
+            assert "<svg" in doc
+
+    def test_run_panel_lists_every_series(self):
+        payload = run_payload()
+        doc = render_dashboard(run=payload)
+        for name in payload["timeseries"]["series"]:
+            assert f"<td>{name}</td>" in doc
+
+    def test_sweep_and_ledger_and_bench_panels(self):
+        sweep = {
+            "points_total": 12,
+            "points_executed": 8,
+            "points_from_cache": 4,
+            "cache_hit_ratio": 4 / 12,
+            "wall_s": 1.5,
+            "histograms": {"queue_wait_s": {"p50": 0.1, "p95": 0.4}},
+            "workers": [
+                {"track": 0, "points": 6, "busy_s": 0.7, "utilization": 0.9}
+            ],
+        }
+        ledger = {
+            "makespan": {
+                "ids": ["a", "b"],
+                "values": [110.0, 105.0],
+                "latest": 105.0,
+                "median_prior": 110.0,
+                "lower_is_better": True,
+            }
+        }
+        benches = {
+            "BENCH_timeseries": {
+                "name": "timeseries_overhead",
+                "timings": {"disabled_run_s": 0.01},
+                "asserts": {
+                    "disabled_overhead_fraction": {
+                        "measured": 0.004,
+                        "bound": 0.05,
+                        "op": "<",
+                        "ok": True,
+                    },
+                    "broken": {
+                        "measured": 2.0,
+                        "bound": 1.0,
+                        "op": "<",
+                        "ok": False,
+                    },
+                },
+            }
+        }
+        doc = render_dashboard(
+            sweep=sweep, ledger_series=ledger, benches=benches
+        )
+        assert_self_contained(doc)
+        assert "points_total" in doc
+        assert "queue_wait_s" in doc
+        assert "makespan" in doc
+        assert "timeseries_overhead" in doc
+        assert '<span class="ok">ok</span>' in doc
+        assert '<span class="bad">FAIL</span>' in doc
+
+    def test_title_is_escaped(self):
+        doc = render_dashboard(title="<b>sneaky</b>")
+        assert "<b>sneaky</b>" not in doc
+        assert "&lt;b&gt;sneaky&lt;/b&gt;" in doc

@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "train", "tables", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "summary", "run", "trace", "all", "sweep",
+            "fig9", "summary", "run", "trace", "all", "sweep", "dash",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -83,6 +83,25 @@ class TestParser:
         assert args.jsonl == "/tmp/t.jsonl"
         assert args.metrics == "/tmp/m.json"
         assert args.profile
+
+    def test_trace_timeseries_flag(self):
+        parser = build_parser()
+        assert not parser.parse_args(["trace"]).timeseries
+        assert parser.parse_args(["trace", "--timeseries"]).timeseries
+
+    def test_dash_options(self):
+        args = build_parser().parse_args(
+            ["dash", "--mix", "Sync-2", "--scheduler", "colab",
+             "--out", "/tmp/d.html", "--sweep-report", "/tmp/r.json",
+             "--bench-dir", "/tmp", "--ledger-limit", "9"]
+        )
+        assert args.command == "dash"
+        assert args.mix == "Sync-2"
+        assert args.scheduler == "colab"
+        assert args.out == "/tmp/d.html"
+        assert args.sweep_report == "/tmp/r.json"
+        assert args.bench_dir == "/tmp"
+        assert args.ledger_limit == 9
 
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -369,6 +388,73 @@ class TestTraceCommand:
         assert "core.0.utilization" in snapshot["gauges"]
         assert "rq.mean_depth" in snapshot["gauges"]
         assert "futex.total_wait_ms" in snapshot["gauges"]
+
+    def test_trace_timeseries_adds_counter_tracks(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "--scale", "0.05", "--oracle", "--no-cache",
+                "trace", "--mix", "Sync-1", "--config", "2B2S",
+                "--scheduler", "colab", "--out", str(out),
+                "--timeseries",
+            ]
+        )
+        assert code == 0
+        assert "timeline" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        counters = [
+            e for e in document["traceEvents"] if e.get("ph") == "C"
+        ]
+        assert counters
+        assert {e["pid"] for e in counters} == {2}
+        assert any(e["name"] == "rq.depth.mean" for e in counters)
+
+
+class TestDashCommand:
+    ARGS = [
+        "--scale", "0.05", "--oracle", "--no-cache", "--no-ledger",
+        "dash", "--mix", "Sync-1", "--config", "2B2S",
+        "--scheduler", "colab",
+    ]
+
+    def test_dash_writes_self_contained_html(self, tmp_path, capsys):
+        out = tmp_path / "dashboard.html"
+        code = main(self.ARGS + ["--out", str(out), "--bench-dir", str(tmp_path)])
+        assert code == 0
+        assert "self-contained" in capsys.readouterr().out
+        document = out.read_text()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<script" not in document.lower()
+        assert "<svg" in document
+        for heading in (
+            "Run timeline (sim-time)", "Sweep report",
+            "Ledger trends", "Benchmarks",
+        ):
+            assert f"<h2>{heading}</h2>" in document
+
+    def test_dash_reruns_byte_identical(self, tmp_path, capsys):
+        first = tmp_path / "a.html"
+        second = tmp_path / "b.html"
+        assert main(self.ARGS + ["--out", str(first), "--bench-dir", str(tmp_path)]) == 0
+        assert main(self.ARGS + ["--out", str(second), "--bench-dir", str(tmp_path)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_dash_includes_bench_artifacts(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_demo.json"
+        bench.write_text(json.dumps({
+            "name": "demo",
+            "timings": {"run_s": 0.5},
+            "asserts": {
+                "bound": {"measured": 0.1, "bound": 1.0, "op": "<", "ok": True}
+            },
+        }))
+        out = tmp_path / "dashboard.html"
+        code = main(self.ARGS + ["--out", str(out), "--bench-dir", str(tmp_path)])
+        assert code == 0
+        assert "1 bench artifact(s)" in capsys.readouterr().out
+        document = out.read_text()
+        assert "demo" in document
+        assert '<span class="ok">ok</span>' in document
 
 
 @pytest.fixture(autouse=True)
